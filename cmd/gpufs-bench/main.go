@@ -1,0 +1,71 @@
+// Command gpufs-bench regenerates the tables and figures of the GPUfs
+// paper's evaluation (§5) against the simulated machine.
+//
+// Usage:
+//
+//	gpufs-bench [-scale 0.03125] [-exp all|fig4|fig5|fig6|fig7|fig8|table2|table3|table4]
+//
+// -scale 1 runs at the paper's full input sizes (needs several GB of RAM
+// and minutes of wall time); the default 1/32 preserves every
+// capacity-driven crossover while running in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpufs/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0/32, "uniform scale factor for capacities and input sizes")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, ablation")
+	reps := flag.Int("reps", 3, "runs averaged per measured cell (the paper averages 5)")
+	flag.Parse()
+	bench.SetReps(*reps)
+
+	runners := map[string]func(float64) (*bench.Table, error){
+		"fig4":     bench.Fig4,
+		"fig5":     bench.Fig5,
+		"fig6":     bench.Fig6,
+		"fig7":     bench.Fig7,
+		"fig8":     bench.Fig8,
+		"table2":   bench.Table2,
+		"table3":   bench.Table3,
+		"table4":   bench.Table4,
+		"ablation": bench.Ablation,
+	}
+
+	fmt.Printf("GPUfs reproduction benchmarks (scale %g; virtual-time results)\n\n", *scale)
+
+	var tables []*bench.Table
+	switch key := strings.ToLower(*exp); key {
+	case "all":
+		all, err := bench.All(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		tables = all
+	default:
+		r, ok := runners[key]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
+		}
+		tb, err := r(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, tb)
+	}
+
+	for _, tb := range tables {
+		fmt.Println(tb)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpufs-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command gpufs-trace runs a small representative GPUfs workload with
+// operation tracing enabled and prints the event timeline and a per-op
+// summary — a quick way to see where a kernel's virtual time goes (RPC
+// round trips, buffer-cache hits, paging).
+//
+// Usage:
+//
+//	gpufs-trace [-n 40] [-blocks 8] [-mb 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpufs"
+)
+
+func main() {
+	n := flag.Int("n", 40, "number of events to print (0 = none, just the summary)")
+	blocks := flag.Int("blocks", 8, "threadblocks")
+	mb := flag.Int64("mb", 4, "working set in MiB")
+	flag.Parse()
+
+	cfg := gpufs.ScaledConfig(1.0 / 32)
+	// A deliberately small buffer cache so the trace shows paging too.
+	cfg.BufferCacheBytes = (*mb << 20) / 2
+	sys, err := gpufs.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := sys.EnableTracing(1 << 16)
+
+	total := *mb << 20
+	if err := sys.WriteHostFile("/trace/in.bin", make([]byte, total)); err != nil {
+		log.Fatal(err)
+	}
+	sys.ResetTime()
+
+	chunk := total / int64(*blocks)
+	end, err := sys.GPU(0).Launch(0, *blocks, 256, func(c *gpufs.BlockCtx) error {
+		in, err := c.Gopen("/trace/in.bin", gpufs.O_RDONLY)
+		if err != nil {
+			return err
+		}
+		defer c.Gclose(in)
+		out, err := c.Gopen("/trace/out.bin", gpufs.O_GWRONCE)
+		if err != nil {
+			return err
+		}
+		defer c.Gclose(out)
+
+		buf := make([]byte, 64<<10)
+		base := int64(c.Idx) * chunk
+		for off := base; off < base+chunk; off += int64(len(buf)) {
+			if _, err := c.Gread(in, buf, off); err != nil {
+				return err
+			}
+			if _, err := c.Gwrite(out, buf, off); err != nil {
+				return err
+			}
+		}
+		return c.Gfsync(out)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	events := tr.Snapshot()
+	fmt.Printf("workload: %d blocks copying %d MiB through a %d MiB buffer cache; kernel end %v\n\n",
+		*blocks, *mb, cfg.BufferCacheBytes>>20, gpufs.Duration(end))
+	if *n > 0 {
+		fmt.Printf("first %d of %d events:\n", min(*n, len(events)), len(events))
+		for _, e := range events[:min(*n, len(events))] {
+			fmt.Println("  " + e.String())
+		}
+		fmt.Println()
+	}
+	fmt.Print(tr.FormatSummary())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module gpufs
+
+go 1.22

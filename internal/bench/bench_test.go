@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:     "Table X",
+		Title:  "demo",
+		Header: []string{"a", "bb", "ccc"},
+	}
+	tb.AddRow("1", "22", "333")
+	tb.AddRow("longer", "2", "3")
+	tb.AddNote("hello %d", 7)
+
+	out := tb.String()
+	if !strings.Contains(out, "Table X — demo") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "note: hello 7") {
+		t.Fatalf("missing note: %q", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header and all rows must align: the second column starts at the
+	// same offset everywhere.
+	idx := strings.Index(lines[1], "bb")
+	if idx < 0 {
+		t.Fatalf("header: %q", lines[1])
+	}
+	if lines[3][idx:idx+2] != "22" {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if got := sizeLabel(16 << 10); got != "16K" {
+		t.Fatalf("sizeLabel 16K: %q", got)
+	}
+	if got := sizeLabel(2 << 20); got != "2M" {
+		t.Fatalf("sizeLabel 2M: %q", got)
+	}
+	if got := sizeLabel(3 << 30); got != "3G" {
+		t.Fatalf("sizeLabel 3G: %q", got)
+	}
+	if got := sizeLabel(1000); got != "1000" {
+		t.Fatalf("sizeLabel odd: %q", got)
+	}
+	if got := mbps(1e9); got != "1000" {
+		t.Fatalf("mbps: %q", got)
+	}
+	if got := pow2AtMost(100); got != 64 {
+		t.Fatalf("pow2AtMost: %d", got)
+	}
+	if got := pow2AtMost(1); got != 1 {
+		t.Fatalf("pow2AtMost(1): %d", got)
+	}
+}
+
+// numericCell parses a leading float out of a cell.
+func numericCell(t *testing.T, s string) float64 {
+	t.Helper()
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+// TestFig4ShapeTiny runs the Figure 4 harness at a tiny scale and checks
+// the structural claims that must hold at any scale.
+func TestFig4ShapeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness in -short mode")
+	}
+	tb, err := Fig4(1.0 / 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(pageSweep) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	small := numericCell(t, tb.Rows[0][1])
+	big := numericCell(t, tb.Rows[len(tb.Rows)-1][1])
+	if big <= small {
+		t.Fatalf("GPUfs throughput must grow with page size: %v -> %v", small, big)
+	}
+	// At large pages GPUfs is within 25%% of the pipeline.
+	pipe := numericCell(t, tb.Rows[len(tb.Rows)-1][2])
+	if big < 0.75*pipe {
+		t.Fatalf("GPUfs %v too far below pipeline %v at 16M pages", big, pipe)
+	}
+}
+
+// TestTable3ShapeTiny checks multi-GPU scaling monotonicity at tiny scale.
+func TestTable3ShapeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness in -short mode")
+	}
+	tb, err := Table3(1.0 / 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		one := numericCell(t, row[2])
+		four := numericCell(t, row[5])
+		if four >= one {
+			t.Fatalf("%s: 4 GPUs (%v) not faster than 1 (%v)", row[0], four, one)
+		}
+		cpu := numericCell(t, row[1])
+		if one >= cpu {
+			t.Fatalf("%s: 1 GPU (%v) not faster than CPUx8 (%v)", row[0], one, cpu)
+		}
+	}
+}
+
+// TestAblationShapeTiny checks the ablation harness's directional claims.
+func TestAblationShapeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness in -short mode")
+	}
+	tb, err := Ablation(1.0 / 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("ablation rows: %d", len(tb.Rows))
+	}
+	// Fast reopen must win on the reopen-storm row.
+	last := tb.Rows[len(tb.Rows)-1]
+	if !strings.Contains(last[3], "slower without") {
+		t.Fatalf("fast-reopen row: %v", last)
+	}
+}
+
+func TestFig5ShapeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness in -short mode")
+	}
+	tb, err := Fig5(1.0 / 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The both-excluded column (pure page-cache code) must fall
+	// monotonically-ish: last < first/8.
+	first := numericCell(t, tb.Rows[0][4])
+	last := numericCell(t, tb.Rows[len(tb.Rows)-1][4])
+	if last*8 > first {
+		t.Fatalf("pure cache code should shrink with page size: %v -> %v", first, last)
+	}
+	// Excluding components never makes a run slower than the total by
+	// more than jitter.
+	for _, row := range tb.Rows {
+		total := numericCell(t, row[1])
+		both := numericCell(t, row[4])
+		if both > total*1.5 {
+			t.Fatalf("page %s: both-excluded (%v) exceeds total (%v)", row[0], both, total)
+		}
+	}
+}
+
+func TestFig8ShapeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness in -short mode")
+	}
+	tb, err := Fig8(1.0 / 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	gpufsLast := numericCell(t, last[1])
+	naiveLast := numericCell(t, last[2])
+	if gpufsLast <= naiveLast {
+		t.Fatalf("at the RAM-exceeding point GPUfs (%v) must beat naive CUDA (%v)", gpufsLast, naiveLast)
+	}
+	// In the cached regime all three are within the same order of
+	// magnitude.
+	first := tb.Rows[0]
+	g, n := numericCell(t, first[1]), numericCell(t, first[2])
+	if g < n/4 || g > n*4 {
+		t.Fatalf("cached regime out of family: gpufs %v vs naive %v", g, n)
+	}
+}
+
+func TestTable2ShapeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness in -short mode")
+	}
+	tb, err := Table2(1.0 / 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reclamation pressure grows as the cache shrinks.
+	big := numericCell(t, tb.Rows[0][2])
+	small := numericCell(t, tb.Rows[2][2])
+	if small <= big {
+		t.Fatalf("smaller cache should reclaim more: %v (2G) vs %v (0.5G)", big, small)
+	}
+}
+
+func TestTable4ShapeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness in -short mode")
+	}
+	tb, err := Table4(1.0 / 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		cpu := numericCell(t, row[1])
+		gpu := numericCell(t, row[2])
+		if gpu >= cpu {
+			t.Fatalf("%s: GPUfs (%v) must beat the 8-core CPU (%v)", row[0], gpu, cpu)
+		}
+	}
+}

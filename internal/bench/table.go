@@ -1,0 +1,110 @@
+// Package bench regenerates every table and figure of the GPUfs paper's
+// evaluation (§5) against the simulated machine: Figures 4–8 and Tables
+// 2–4. Each experiment builds its own System(s) from a scaled
+// configuration, runs the GPUfs workload and its baselines, and renders a
+// text table whose rows mirror what the paper reports.
+//
+// Absolute numbers are virtual-time estimates and will not match the
+// paper's testbed exactly; the claims under reproduction are the *shapes*:
+// who wins, by roughly what factor, and where the crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gpufs/internal/simtime"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the paper artifact ("Figure 4", "Table 2", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows are the data cells.
+	Rows [][]string
+	// Notes carry paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a commentary line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned monospace text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	var total int
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// mbps renders a throughput in MB/s.
+func mbps(r simtime.Rate) string {
+	return fmt.Sprintf("%.0f", float64(r)/1e6)
+}
+
+// msec renders a duration in milliseconds.
+func msec(d simtime.Duration) string {
+	return fmt.Sprintf("%.1f", d.Milliseconds())
+}
+
+// secs renders a duration in seconds.
+func secs(d simtime.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+// sizeLabel renders a byte count compactly (16K, 2M, ...).
+func sizeLabel(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+// Range is a half-open byte range within a page.
+type Range struct{ Start, End int64 }
+
+// Len reports the range's length.
+func (r Range) Len() int64 { return r.End - r.Start }
+
+// diffRanges returns the byte ranges where cur differs from pristine — the
+// "diff" step of the diff-and-merge write-sharing protocol (§3.1): when a
+// buffer-cache page is falsely shared between GPUs, only the bytes a GPU
+// actually modified may be propagated, or concurrent modifications by
+// others would be reverted. Bytes beyond len(pristine) are treated as
+// differing wherever non-zero padding rules don't apply — i.e. the whole
+// extension is included, since it is new content.
+//
+// Adjacent ranges separated by fewer than coalesceGap identical bytes are
+// merged, trading a little redundant transfer for fewer RPC write requests.
+func diffRanges(cur, pristine []byte, coalesceGap int64) []Range {
+	n := int64(len(cur))
+	p := int64(len(pristine))
+	var out []Range
+	i := int64(0)
+	for i < n {
+		// Skip identical bytes.
+		for i < n && i < p && cur[i] == pristine[i] {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		// Consume differing bytes, absorbing small identical gaps.
+		for i < n {
+			if i < p && cur[i] == pristine[i] {
+				// Probe the gap.
+				g := i
+				for g < n && g < p && cur[g] == pristine[g] && g-i < coalesceGap {
+					g++
+				}
+				if g < n && (g >= p || cur[g] != pristine[g]) && g-i < coalesceGap {
+					i = g
+					continue
+				}
+				break
+			}
+			i++
+		}
+		out = append(out, Range{start, i})
+	}
+	return coalesce(out, coalesceGap)
+}
+
+// nonZeroRanges returns the ranges of non-zero bytes in cur: the trivial
+// "diff against zeros" of O_GWRONCE pages, whose pristine copy is
+// implicitly all zeros and need never be stored (§3.1).
+func nonZeroRanges(cur []byte, coalesceGap int64) []Range {
+	n := int64(len(cur))
+	var out []Range
+	i := int64(0)
+	for i < n {
+		for i < n && cur[i] == 0 {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && cur[i] != 0 {
+			i++
+		}
+		out = append(out, Range{start, i})
+	}
+	return coalesce(out, coalesceGap)
+}
+
+// coalesce merges ranges whose gap is smaller than gap.
+func coalesce(in []Range, gap int64) []Range {
+	if len(in) < 2 {
+		return in
+	}
+	out := in[:1]
+	for _, r := range in[1:] {
+		last := &out[len(out)-1]
+		if r.Start-last.End < gap {
+			last.End = r.End
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// mergeInto applies the diff ranges of src (relative to pristine) onto dst,
+// byte-wise: the "merge" step used by tests to validate that concurrent
+// disjoint writes from several GPUs reconcile. dst must be at least as long
+// as src over the given ranges.
+func mergeInto(dst, src []byte, ranges []Range) {
+	for _, r := range ranges {
+		copy(dst[r.Start:r.End], src[r.Start:r.End])
+	}
+}

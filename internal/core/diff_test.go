@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNonZeroRangesBasic(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		gap  int64
+		want []Range
+	}{
+		{nil, 1, nil},
+		{[]byte{0, 0, 0}, 1, nil},
+		{[]byte{1, 2, 3}, 1, []Range{{0, 3}}},
+		{[]byte{0, 1, 0, 0, 0, 2}, 1, []Range{{1, 2}, {5, 6}}},
+		{[]byte{0, 1, 0, 0, 0, 2}, 10, []Range{{1, 6}}}, // coalesced
+		{[]byte{9}, 1, []Range{{0, 1}}},
+	}
+	for i, c := range cases {
+		got := nonZeroRanges(c.in, c.gap)
+		if !rangesEqual(got, c.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDiffRangesBasic(t *testing.T) {
+	cur := []byte("heXlo worYd")
+	pristine := []byte("hello world")
+	got := diffRanges(cur, pristine, 1)
+	if !rangesEqual(got, []Range{{2, 3}, {9, 10}}) {
+		t.Fatalf("got %v", got)
+	}
+	// Extension beyond the pristine copy is all new content.
+	cur2 := []byte("hello world plus more")
+	got = diffRanges(cur2, pristine, 1)
+	if !rangesEqual(got, []Range{{11, 21}}) {
+		t.Fatalf("extension: got %v", got)
+	}
+	// Identical inputs: no ranges.
+	if got := diffRanges(pristine, pristine, 4); got != nil {
+		t.Fatalf("identical: got %v", got)
+	}
+}
+
+func rangesEqual(a, b []Range) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiffMergeRoundTrip is the diff-and-merge protocol's core property:
+// applying the diff of (cur vs pristine) onto any base that agrees with
+// pristine outside the diff ranges reconstructs cur exactly — this is what
+// guarantees concurrent non-overlapping writes from several GPUs merge
+// without reverting each other (§3.1).
+func TestDiffMergeRoundTrip(t *testing.T) {
+	f := func(seed int64, gapSmall uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(512) + 1
+		pristine := make([]byte, n)
+		rng.Read(pristine)
+		cur := append([]byte(nil), pristine...)
+		// Random sparse mutations.
+		for i := 0; i < rng.Intn(20); i++ {
+			cur[rng.Intn(n)] ^= byte(rng.Intn(255) + 1)
+		}
+		gap := int64(gapSmall%16) + 1
+
+		ranges := diffRanges(cur, pristine, gap)
+		merged := append([]byte(nil), pristine...)
+		mergeInto(merged, cur, ranges)
+		return bytes.Equal(merged, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffDisjointWritersMerge simulates two GPUs modifying disjoint halves
+// of a falsely-shared page: applying both diffs onto the host copy must
+// preserve both updates.
+func TestDiffDisjointWritersMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(256)*2 + 2
+		pristine := make([]byte, n)
+		rng.Read(pristine)
+
+		gpuA := append([]byte(nil), pristine...)
+		gpuB := append([]byte(nil), pristine...)
+		for i := 0; i < n/2; i++ {
+			if rng.Intn(3) == 0 {
+				gpuA[i] ^= 0xFF
+			}
+		}
+		for i := n / 2; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				gpuB[i] ^= 0xFF
+			}
+		}
+
+		host := append([]byte(nil), pristine...)
+		mergeInto(host, gpuA, diffRanges(gpuA, pristine, 1))
+		mergeInto(host, gpuB, diffRanges(gpuB, pristine, 1))
+
+		for i := 0; i < n/2; i++ {
+			if host[i] != gpuA[i] {
+				return false
+			}
+		}
+		for i := n / 2; i < n; i++ {
+			if host[i] != gpuB[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonZeroRangesCoverAllNonZeros: every non-zero byte falls inside some
+// range, so diff-against-zeros never loses a written byte.
+func TestNonZeroRangesCoverAllNonZeros(t *testing.T) {
+	f := func(data []byte, gapSmall uint8) bool {
+		gap := int64(gapSmall%32) + 1
+		ranges := nonZeroRanges(data, gap)
+		covered := func(i int64) bool {
+			for _, r := range ranges {
+				if i >= r.Start && i < r.End {
+					return true
+				}
+			}
+			return false
+		}
+		for i, b := range data {
+			if b != 0 && !covered(int64(i)) {
+				return false
+			}
+		}
+		// Ranges are sorted, non-overlapping, in bounds.
+		var prev int64 = -1
+		for _, r := range ranges {
+			if r.Start < 0 || r.End > int64(len(data)) || r.Start >= r.End || r.Start < prev {
+				return false
+			}
+			prev = r.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeLen(t *testing.T) {
+	if (Range{3, 10}).Len() != 7 {
+		t.Fatalf("Len")
+	}
+}
+
+func BenchmarkNonZeroRanges(b *testing.B) {
+	data := make([]byte, 64<<10)
+	for i := 0; i < len(data); i += 97 {
+		data[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonZeroRanges(data, writeBackGap)
+	}
+	b.SetBytes(int64(len(data)))
+}
+
+func BenchmarkDiffRanges(b *testing.B) {
+	pristine := make([]byte, 64<<10)
+	cur := make([]byte, 64<<10)
+	copy(cur, pristine)
+	for i := 0; i < len(cur); i += 211 {
+		cur[i] = 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diffRanges(cur, pristine, writeBackGap)
+	}
+	b.SetBytes(int64(len(cur)))
+}

@@ -1,0 +1,27 @@
+package core
+
+import "errors"
+
+// Errors returned by the GPUfs API.
+var (
+	// ErrBadFD is returned for operations on an unknown or closed file
+	// descriptor.
+	ErrBadFD = errors.New("gpufs: bad file descriptor")
+	// ErrReadOnly is returned when writing through a read-only open.
+	ErrReadOnly = errors.New("gpufs: file opened read-only")
+	// ErrWriteOnly is returned when reading a write-only open.
+	ErrWriteOnly = errors.New("gpufs: file opened write-only")
+	// ErrBadFlags is returned for inconsistent open flags.
+	ErrBadFlags = errors.New("gpufs: invalid open flags")
+	// ErrCacheFull is returned when the paging algorithm cannot reclaim
+	// any page — every frame is referenced by running threadblocks.
+	ErrCacheFull = errors.New("gpufs: buffer cache exhausted and unreclaimable")
+	// ErrFlagConflict is returned when a file is opened with flags
+	// incompatible with an existing open of the same file.
+	ErrFlagConflict = errors.New("gpufs: open flags conflict with existing open")
+	// ErrBadMapping is returned for gmunmap/gmsync of an unknown mapping.
+	ErrBadMapping = errors.New("gpufs: not a mapped region")
+	// ErrInvalid is returned for malformed arguments (negative offsets
+	// and the like).
+	ErrInvalid = errors.New("gpufs: invalid argument")
+)

@@ -1,0 +1,662 @@
+// Package core implements GPUfs itself: the GPU-side file system library of
+// the paper. It maintains the open and closed file tables, the per-file
+// buffer caches (radix trees over a shared frame pool), and implements the
+// API of Table 1 — gopen, gclose, gread, gwrite, gfsync, gmmap, gmunmap,
+// gmsync, gunlink, gfstat, gftruncate — with the paper's relaxed,
+// data-parallel-friendly semantics:
+//
+//   - Calls are collective at threadblock granularity (the prototype's
+//     granularity, §4): every thread of a block is assumed to reach the
+//     call together, and the implementation is invoked once per block.
+//   - File descriptors denote files, not opens: all blocks (and kernels)
+//     opening the same file share one descriptor and one reference count.
+//   - Reads and writes carry explicit offsets (pread/pwrite style); there
+//     are no seek pointers.
+//   - gclose does not synchronize; dirty pages reach the host only via
+//     gfsync/gmsync or buffer-cache eviction.
+//   - Consistency is locality-optimized and weak: pages cached on a GPU are
+//     read and written locally; other processors observe the writes only
+//     after a sync on the writer and a re-open on the reader.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gpufs/internal/core/pcache"
+	"gpufs/internal/core/radix"
+	"gpufs/internal/gpu"
+	"gpufs/internal/hostfs"
+	"gpufs/internal/memsys"
+	"gpufs/internal/rpc"
+	"gpufs/internal/simtime"
+	"gpufs/internal/trace"
+)
+
+// Open flags. The lower bits coincide with the host flags; the O_G* flags
+// are the GPUfs-specific additions of §3.2.
+const (
+	O_RDONLY = hostfs.O_RDONLY
+	O_WRONLY = hostfs.O_WRONLY
+	O_RDWR   = hostfs.O_RDWR
+	O_CREATE = hostfs.O_CREATE
+	O_TRUNC  = hostfs.O_TRUNC
+
+	// O_GWRONCE creates a write-only file in which the application
+	// writes each byte at most once; GPUfs never fetches its content
+	// from the CPU and write-back diffs against implicit zeros.
+	O_GWRONCE = 0x10000
+	// O_GWRSHARED opens a writable file for concurrent write-sharing
+	// across processors using the general diff-and-merge protocol: a
+	// pristine copy is kept per page and only locally modified bytes are
+	// propagated at sync. (The paper describes this protocol in §3.1 and
+	// leaves it unimplemented in the prototype; this implementation
+	// includes it.)
+	O_GWRSHARED = 0x20000
+	// O_NOSYNC creates a temporary file private to this GPU: its data is
+	// never written back except under cache pressure, and it is unlinked
+	// from the host on final close.
+	O_NOSYNC = 0x40000
+
+	hostFlagMask = 0xFFFF
+)
+
+// Options configures one GPU's GPUfs instance.
+type Options struct {
+	// PageSize is the buffer-cache page size.
+	PageSize int64
+	// CacheBytes is the buffer-cache capacity (raw data array size).
+	CacheBytes int64
+	// APICostPerPage is the virtual cost of per-page bookkeeping.
+	APICostPerPage simtime.Duration
+	// RadixLookupLockFree and RadixLookupLocked are per-attempt lookup
+	// costs; locked lookups additionally serialize on the file's tree.
+	RadixLookupLockFree simtime.Duration
+	RadixLookupLocked   simtime.Duration
+	// ForceLockedTraversal disables the lock-free read protocol,
+	// reproducing Figure 7's locked baseline.
+	ForceLockedTraversal bool
+	// ReadAheadPages, when positive, makes gread prefetch that many
+	// pages beyond each read asynchronously — one of the optimizations
+	// the paper notes a GPU buffer cache enables (§3.3). The prototype
+	// ships with it off; the ablation bench quantifies it.
+	ReadAheadPages int
+	// DisableFastReopen forces every gopen to take the full host-RPC
+	// path even when the closed file table holds a valid cache
+	// (ablation: the cost of the closed-table optimization of §4.1).
+	DisableFastReopen bool
+	// EvictBatch is how many pages one paging pass tries to reclaim.
+	EvictBatch int
+}
+
+// FS is the GPUfs instance of a single GPU: the top software layer of
+// Figure 2, resident in GPU memory and linked into the application kernel.
+type FS struct {
+	gpuID  int
+	opt    Options
+	client *rpc.Client
+	cache  *pcache.Cache
+
+	mu     sync.Mutex
+	byPath map[string]int // path -> fd for open files
+	fds    []*file        // fd -> open file (nil when slot closed)
+	closed map[int64]*fileCache
+	// closedByPath indexes the closed file table by pathname for the
+	// fast-reopen check in Open.
+	closedByPath map[string]int64
+	// truncated records paths already truncated by an O_TRUNC open, so a
+	// re-open by a late-scheduled threadblock (after the reference count
+	// transiently hit zero, §3.2) does not destroy earlier blocks'
+	// output by truncating again.
+	truncated map[string]bool
+
+	// Retired-tree stats accumulate counters of trees that were
+	// invalidated or unlinked, so totals survive cache discards.
+	retiredLockFree atomic.Int64
+	retiredLocked   atomic.Int64
+
+	opens        atomic.Int64
+	hostOpens    atomic.Int64
+	closedReuses atomic.Int64
+
+	// tracer, when non-nil and enabled, records every API call.
+	tracer *trace.Tracer
+}
+
+// file is an entry in the open file table.
+type file struct {
+	fc *fileCache
+
+	path      string
+	flags     int
+	writeOnce bool
+	writeShrd bool
+	noSync    bool
+	writable  bool
+	readable  bool
+	unlinked  bool // gunlink'd while open; discard cache at final close
+
+	hostFd int64
+	refs   int // threadblock reference count
+
+	// opening coordination: concurrent gopens of the same file coalesce
+	// into one host open; waiters block on ready.
+	ready chan struct{}
+	err   error
+}
+
+// fileCache is a file's GPU-resident cache state. It survives gclose in the
+// closed file table (keyed by host inode) so that threadblocks scheduled
+// later — or subsequent kernels of the same process — reuse the cached
+// pages (§4.1, §5.1.3).
+type fileCache struct {
+	tree    *radix.Tree
+	lockRes *simtime.Resource // serializes locked traversals in virtual time
+
+	ino  int64
+	path string
+
+	// gen is the host generation the cache contents correspond to,
+	// refreshed after this GPU propagates writes.
+	gen atomic.Int64
+
+	// size is the file size as seen by gfstat: captured at the first
+	// gopen and extended by local writes.
+	size atomic.Int64
+
+	// frames counts resident pages, so the eviction policy can skip
+	// empty caches cheaply.
+	frames atomic.Int64
+
+	// keepFd is the host descriptor retained after the last gclose (the
+	// open file table stores "the CPU file descriptor used for data
+	// requests", §4.1, and keeping it is what makes reopening a
+	// closed-table entry free of CPU communication); 0 when none.
+	// Atomic: mutated on reuse/discard paths that run outside the table
+	// lock while the paging victim scan reads it.
+	keepFd atomic.Int64
+	// lastFlags records the flags of the retired open, so a reopen with
+	// identical flags can take the fast path.
+	lastFlags int
+}
+
+// New creates the GPUfs instance for one GPU, carving the buffer cache out
+// of the device's memory arena.
+func New(gpuID int, opt Options, client *rpc.Client, mem *memsys.Arena) (*FS, error) {
+	if opt.EvictBatch <= 0 {
+		opt.EvictBatch = 16
+	}
+	cache, err := pcache.New(mem, opt.CacheBytes, opt.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &FS{
+		gpuID:        gpuID,
+		opt:          opt,
+		client:       client,
+		cache:        cache,
+		byPath:       make(map[string]int),
+		closed:       make(map[int64]*fileCache),
+		closedByPath: make(map[string]int64),
+		truncated:    make(map[string]bool),
+	}, nil
+}
+
+// GPUID reports the owning GPU's index.
+func (fs *FS) GPUID() int { return fs.gpuID }
+
+// PageSize reports the buffer-cache page size.
+func (fs *FS) PageSize() int64 { return fs.opt.PageSize }
+
+// Cache exposes the frame pool (stats and tests).
+func (fs *FS) Cache() *pcache.Cache { return fs.cache }
+
+// Client exposes the RPC endpoint (stats and tests).
+func (fs *FS) Client() *rpc.Client { return fs.client }
+
+// newFileCache builds an empty cache for a file.
+func (fs *FS) newFileCache(path string, ino, gen, size int64) *fileCache {
+	fc := &fileCache{
+		tree:    radix.NewTree(),
+		lockRes: simtime.NewResource(fmt.Sprintf("gpu%d-treelock-%d", fs.gpuID, ino)),
+		ino:     ino,
+		path:    path,
+	}
+	fc.tree.SetForceLocked(fs.opt.ForceLockedTraversal)
+	fc.gen.Store(gen)
+	fc.size.Store(size)
+	return fc
+}
+
+// Open implements gopen. All threads of the block invoke it collectively;
+// the call runs once per block. Concurrent opens of the same file coalesce:
+// one block performs the host open, the rest wait and share the descriptor,
+// which then merely has its reference count incremented (§3.2, §4.1).
+func (fs *FS) openImpl(b *gpu.Block, path string, flags int) (int, error) {
+	fs.opens.Add(1)
+	b.Busy(fs.opt.APICostPerPage) // control-plane bookkeeping
+
+	writeOnce := flags&O_GWRONCE != 0
+	writeShrd := flags&O_GWRSHARED != 0
+	noSync := flags&O_NOSYNC != 0
+	if writeOnce && writeShrd {
+		return -1, fmt.Errorf("%w: O_GWRONCE with O_GWRSHARED", ErrBadFlags)
+	}
+
+	acc := flags & 0x3
+	if writeOnce {
+		acc = O_WRONLY
+	}
+	writable := acc == O_WRONLY || acc == O_RDWR
+	readable := acc == O_RDONLY || acc == O_RDWR
+	if (writeOnce || writeShrd || noSync) && !writable {
+		return -1, fmt.Errorf("%w: GPUfs write flags require a writable mode", ErrBadFlags)
+	}
+
+	for {
+		fs.mu.Lock()
+		if fd, ok := fs.byPath[path]; ok {
+			f := fs.fds[fd]
+			ready := f.ready
+			fs.mu.Unlock()
+			<-ready // coalesce with the in-flight open
+			fs.mu.Lock()
+			// Identity check, not just slot occupancy: the entry may
+			// have been retired while we waited AND its fd slot and
+			// path reused by a brand-new (still-pending) open — we
+			// must not adopt an entry we never waited on.
+			if fs.byPath[path] != fd || fs.fds[fd] != f {
+				fs.mu.Unlock()
+				continue // restart against the current table state
+			}
+			if f.err != nil {
+				err := f.err
+				fs.mu.Unlock()
+				return -1, err
+			}
+			if f.flags != flags {
+				fs.mu.Unlock()
+				return -1, fmt.Errorf("%w: %q open with flags %#x, requested %#x",
+					ErrFlagConflict, path, f.flags, flags)
+			}
+			f.refs++
+			fs.mu.Unlock()
+			return fd, nil
+		}
+
+		// Fast path: the file is in the closed file table with matching
+		// flags, and the consistency layer's shared-memory generation
+		// table confirms our cached copy is current — move the cache
+		// back to the open file table with no CPU round trip (§4.1).
+		if ino, ok := fs.closedByPath[path]; ok && !fs.opt.DisableFastReopen {
+			fc := fs.closed[ino]
+			if fc != nil && fc.lastFlags == flags && fc.keepFd.Load() != 0 &&
+				fs.client.PeekValid(b.Clock, fc.ino, fc.gen.Load()) {
+				delete(fs.closed, ino)
+				delete(fs.closedByPath, path)
+				ready := make(chan struct{})
+				close(ready)
+				f := &file{
+					fc:        fc,
+					path:      path,
+					flags:     flags,
+					writeOnce: writeOnce,
+					writeShrd: writeShrd,
+					noSync:    noSync,
+					writable:  writable,
+					readable:  readable,
+					hostFd:    fc.keepFd.Load(),
+					refs:      1,
+					ready:     ready,
+				}
+				fc.keepFd.Store(0)
+				fd := fs.allocFdLocked(f)
+				fs.byPath[path] = fd
+				fs.mu.Unlock()
+
+				if writable {
+					if err := fs.client.BeginWrite(fc.ino, writeShrd || writeOnce); err != nil {
+						fs.mu.Lock()
+						fs.fds[fd] = nil
+						delete(fs.byPath, path)
+						fc.keepFd.Store(f.hostFd)
+						fs.closed[fc.ino] = fc
+						fs.closedByPath[path] = fc.ino
+						fs.mu.Unlock()
+						return -1, err
+					}
+				}
+				fs.closedReuses.Add(1)
+				return fd, nil
+			}
+		}
+
+		// We are the opener: insert a pending entry and do the host work
+		// outside the table lock.
+		f := &file{
+			path:      path,
+			flags:     flags,
+			writeOnce: writeOnce,
+			writeShrd: writeShrd,
+			noSync:    noSync,
+			writable:  writable,
+			readable:  readable,
+			refs:      1,
+			ready:     make(chan struct{}),
+		}
+		fd := fs.allocFdLocked(f)
+		fs.byPath[path] = fd
+		fs.mu.Unlock()
+
+		err := fs.hostOpen(b, f)
+		if err != nil {
+			fs.mu.Lock()
+			fs.fds[fd] = nil
+			delete(fs.byPath, path)
+			f.err = err
+			fs.mu.Unlock()
+			close(f.ready)
+			return -1, err
+		}
+		close(f.ready)
+		return fd, nil
+	}
+}
+
+func (fs *FS) allocFdLocked(f *file) int {
+	for i, slot := range fs.fds {
+		if slot == nil {
+			fs.fds[i] = f
+			return i
+		}
+	}
+	fs.fds = append(fs.fds, f)
+	return len(fs.fds) - 1
+}
+
+// hostOpen forwards the first gopen of a file to the CPU, consults the
+// closed file table for a reusable cache, validates it against the
+// consistency layer, and registers write intent.
+func (fs *FS) hostOpen(b *gpu.Block, f *file) error {
+	fs.hostOpens.Add(1)
+
+	// Writable files other than O_GWRONCE are opened read-write on the
+	// host regardless of the GPU-visible mode: partial-page writes need
+	// read-modify-write fetches, and the diff-and-merge protocol needs
+	// pristine copies.
+	hostFlags := f.flags & hostFlagMask
+	if hostFlags&hostfs.O_TRUNC != 0 {
+		fs.mu.Lock()
+		if fs.truncated[f.path] {
+			hostFlags &^= hostfs.O_TRUNC
+		} else {
+			fs.truncated[f.path] = true
+		}
+		fs.mu.Unlock()
+	}
+	switch {
+	case f.writeOnce:
+		hostFlags = (hostFlags &^ 0x3) | hostfs.O_WRONLY | hostfs.O_CREATE
+	case f.writable:
+		hostFlags = (hostFlags &^ 0x3) | hostfs.O_RDWR
+	}
+	if f.noSync {
+		hostFlags |= hostfs.O_CREATE
+	}
+	hfd, info, err := fs.client.Open(b.Clock, f.path, hostFlags, hostfs.ModeRead|hostfs.ModeWrite)
+	if err != nil {
+		return err
+	}
+
+	if f.writable {
+		// O_GWRONCE files may be write-shared across processors: each
+		// byte is written at most once and diff-against-zeros merges
+		// disjoint updates (§3.1). Other writes are single-writer
+		// unless opened O_GWRSHARED.
+		if err := fs.client.BeginWrite(info.Ino, f.writeShrd || f.writeOnce); err != nil {
+			fs.client.Close(b.Clock, hfd)
+			return err
+		}
+	}
+
+	// Check the closed file table first: if this GPU still caches the
+	// file and the consistency layer confirms the host copy is
+	// unchanged, move the cache back to the open file table (§4.1).
+	fs.mu.Lock()
+	fc, cached := fs.closed[info.Ino]
+	if cached {
+		delete(fs.closed, info.Ino)
+		delete(fs.closedByPath, fc.path)
+	}
+	fs.mu.Unlock()
+
+	if cached {
+		valid := fs.client.Validate(b.Clock, info.Ino, fc.gen.Load())
+		if valid && info.Generation == fc.gen.Load() {
+			fs.closedReuses.Add(1)
+			// Replace any retained write-back descriptor with the
+			// fresh one.
+			if old := fc.keepFd.Swap(0); old != 0 {
+				fs.client.Close(b.Clock, old)
+			}
+			f.fc = fc
+			f.hostFd = hfd
+			return nil
+		}
+		// Stale: discard the cached pages (lazy invalidation, §4.4).
+		fs.discardCache(b, fc)
+	}
+
+	f.fc = fs.newFileCache(f.path, info.Ino, info.Generation, info.Size)
+	f.hostFd = hfd
+	fs.client.RecordCached(info.Ino, info.Generation)
+	return nil
+}
+
+// Close implements gclose: it decrements the file's reference count and, at
+// zero, retires the entry to the closed file table with its pages retained
+// for reuse. No data is propagated to the host (§3.2); dirty pages wait for
+// gfsync or eviction.
+func (fs *FS) closeImpl(b *gpu.Block, fd int) error {
+	b.Busy(fs.opt.APICostPerPage)
+
+	fs.mu.Lock()
+	f, err := fs.fileLocked(fd)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	f.refs--
+	if f.refs > 0 {
+		fs.mu.Unlock()
+		return nil
+	}
+	// Last reference: retire to the closed table, retaining the pages
+	// AND the host descriptor so a matching reopen is free.
+	fs.fds[fd] = nil
+	delete(fs.byPath, f.path)
+	fc := f.fc
+	if old, ok := fs.closed[fc.ino]; ok && old != fc {
+		fs.discardCache(b, old)
+	}
+	if staleIno, ok := fs.closedByPath[f.path]; ok && staleIno != fc.ino {
+		if stale := fs.closed[staleIno]; stale != nil {
+			delete(fs.closed, staleIno)
+			defer fs.discardCache(b, stale)
+		}
+	}
+	fs.closed[fc.ino] = fc
+	fs.closedByPath[f.path] = fc.ino
+	fc.keepFd.Store(f.hostFd)
+	fc.lastFlags = f.flags
+	fs.mu.Unlock()
+
+	if f.writable {
+		fs.client.EndWrite(fc.ino)
+	}
+
+	if f.noSync || f.unlinked {
+		// Temporary or unlinked file: never written back; reclaim
+		// local pages immediately.
+		fs.mu.Lock()
+		delete(fs.closed, fc.ino)
+		delete(fs.closedByPath, f.path)
+		fc.keepFd.Store(0)
+		fs.mu.Unlock()
+		fs.discardCache(b, fc)
+		fs.client.Close(b.Clock, f.hostFd)
+		if f.noSync && !f.unlinked {
+			return fs.client.Unlink(b.Clock, f.path)
+		}
+		return nil
+	}
+
+	return nil
+}
+
+func (fs *FS) fileLocked(fd int) (*file, error) {
+	if fd < 0 || fd >= len(fs.fds) || fs.fds[fd] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return fs.fds[fd], nil
+}
+
+// lookupFd returns the open file for fd.
+func (fs *FS) lookupFd(fd int) (*file, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.fileLocked(fd)
+}
+
+// discardCache drops every resident page of fc without write-back
+// (invalidation or unlink) and retires the tree's stats.
+func (fs *FS) discardCache(b *gpu.Block, fc *fileCache) {
+	fc.tree.ForEachReadyPage(func(_ uint64, p *radix.FPage) bool {
+		for !p.TryEvict() {
+			if !p.Ready() {
+				// A concurrent paging pass already took it.
+				return true
+			}
+			// Briefly referenced (invalidation runs at open time,
+			// so holders are transient); wait it out.
+			runtime.Gosched()
+		}
+		if fi := p.Frame(); fi >= 0 {
+			fs.cache.Release(fs.cache.Frame(fi), false)
+			fc.frames.Add(-1)
+		}
+		p.FinishEvict()
+		return true
+	})
+	lf, lk := fc.tree.Stats()
+	fs.retiredLockFree.Add(lf)
+	fs.retiredLocked.Add(lk)
+	if old := fc.keepFd.Swap(0); old != 0 {
+		fs.client.Close(b.Clock, old)
+	}
+	fs.client.Forget(fc.ino)
+}
+
+// Stats aggregates instrumentation across live and retired file caches.
+type Stats struct {
+	// LockFreeAccesses and LockedAccesses count radix-tree lookups by
+	// protocol (Table 2; the locked count includes unlocked retries that
+	// fell back).
+	LockFreeAccesses int64
+	LockedAccesses   int64
+	// PagesReclaimed counts frames reclaimed by the paging algorithm.
+	PagesReclaimed int64
+	// Opens counts gopen calls; HostOpens counts those forwarded to the
+	// CPU (the difference is coalescing plus reference counting).
+	Opens     int64
+	HostOpens int64
+	// ClosedTableReuses counts reopens served from the closed file table.
+	ClosedTableReuses int64
+	// RPCRequests is the total RPC count to the host daemon.
+	RPCRequests int64
+}
+
+// Snapshot gathers current statistics.
+func (fs *FS) Snapshot() Stats {
+	s := Stats{
+		LockFreeAccesses:  fs.retiredLockFree.Load(),
+		LockedAccesses:    fs.retiredLocked.Load(),
+		PagesReclaimed:    fs.cache.Reclaimed(),
+		Opens:             fs.opens.Load(),
+		HostOpens:         fs.hostOpens.Load(),
+		ClosedTableReuses: fs.closedReuses.Load(),
+	}
+	fs.mu.Lock()
+	for _, f := range fs.fds {
+		if f != nil && f.fc != nil {
+			lf, lk := f.fc.tree.Stats()
+			s.LockFreeAccesses += lf
+			s.LockedAccesses += lk
+		}
+	}
+	for _, fc := range fs.closed {
+		lf, lk := fc.tree.Stats()
+		s.LockFreeAccesses += lf
+		s.LockedAccesses += lk
+	}
+	fs.mu.Unlock()
+	return s
+}
+
+// Restart models the GPU-card restart of §3.3: a GPU software failure can
+// require restarting the card, "thus losing the GPU's entire memory
+// state". Every open descriptor becomes invalid, every cached page —
+// including dirty data never synchronized — is discarded, and the host is
+// told to forget this GPU's caches. Data previously propagated by gfsync
+// or gmsync survives on the host (the failure semantics of the CPU page
+// cache).
+func (fs *FS) Restart(b *gpu.Block) {
+	fs.mu.Lock()
+	open := fs.fds
+	closed := fs.closed
+	fs.fds = nil
+	fs.byPath = make(map[string]int)
+	fs.closed = make(map[int64]*fileCache)
+	fs.closedByPath = make(map[string]int64)
+	fs.truncated = make(map[string]bool)
+	fs.mu.Unlock()
+
+	for _, f := range open {
+		if f == nil || f.fc == nil {
+			continue
+		}
+		if f.writable {
+			fs.client.EndWrite(f.fc.ino)
+		}
+		fs.dropCacheNoWriteback(f.fc)
+		fs.client.Close(b.Clock, f.hostFd)
+	}
+	for _, fc := range closed {
+		fs.dropCacheNoWriteback(fc)
+		if old := fc.keepFd.Swap(0); old != 0 {
+			fs.client.Close(b.Clock, old)
+		}
+	}
+}
+
+// dropCacheNoWriteback releases every frame of fc without propagating any
+// dirty data — the content is gone with the card.
+func (fs *FS) dropCacheNoWriteback(fc *fileCache) {
+	fc.tree.ForEachReadyPage(func(_ uint64, p *radix.FPage) bool {
+		for !p.TryEvict() {
+			if !p.Ready() {
+				return true
+			}
+			runtime.Gosched()
+		}
+		if fi := p.Frame(); fi >= 0 {
+			fs.cache.Release(fs.cache.Frame(fi), false)
+			fc.frames.Add(-1)
+		}
+		p.FinishEvict()
+		return true
+	})
+	fs.client.Forget(fc.ino)
+}

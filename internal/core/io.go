@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"gpufs/internal/core/pcache"
+	"gpufs/internal/core/radix"
+	"gpufs/internal/gpu"
+	"gpufs/internal/simtime"
+)
+
+// pageRef is a referenced buffer-cache page: the caller holds one reference
+// on fp, protecting fr against reclamation, and must release it.
+type pageRef struct {
+	fr *pcache.Frame
+	fp *radix.FPage
+}
+
+func (r pageRef) release() { r.fp.Unref() }
+
+// getPage locates (or faults in) the page of f covering pageIdx and returns
+// it referenced. It implements the paper's retry protocol: two lock-free
+// lookup attempts, then a locked lookup; initialization and page-out
+// exclude each other through the fpage state machine; and frames reached
+// through stale paths are rejected by identifier validation.
+func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
+	fc := f.fc
+	offset := pageIdx * fs.opt.PageSize
+
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && attempt < 3 {
+			// A previous unlocked attempt failed; Table 2 counts
+			// these retries with the locked accesses.
+			fc.tree.CountRetry()
+		}
+		var fp *radix.FPage
+		if attempt < 2 && !fs.opt.ForceLockedTraversal {
+			// The lock-free walk is a few dependent reads of radix
+			// nodes: device-memory traffic, largely hidden by warp
+			// multiplexing, competing only for memory bandwidth.
+			b.UseMemory(fs.opt.RadixLookupLockFree)
+			fp = fc.tree.Lookup(uint64(pageIdx))
+		} else {
+			// Third attempt (or forced mode): locked traversal.
+			// Locked lookups serialize on the tree in virtual time,
+			// which is what makes them ~3x slower under contention
+			// (Figure 7).
+			b.Clock.Use(fc.lockRes, fs.opt.RadixLookupLocked)
+			fp = fc.tree.LookupLocked(uint64(pageIdx))
+		}
+		if fp == nil {
+			// Path not materialized: insert the slot (a locked
+			// update) and fall through to claim it.
+			fp, _ = fc.tree.Insert(uint64(pageIdx))
+		}
+
+		// Fast path: the page is resident.
+		if fp.TryRef() {
+			fi := fp.Frame()
+			if fi >= 0 {
+				fr := fs.cache.Frame(fi)
+				if fr.Matches(fc.tree.ID(), offset) {
+					// A read-ahead transfer is usable only once
+					// it completes; synchronous faults were paid
+					// for by the faulting block.
+					if fr.Prefetched.Load() {
+						b.Clock.AdvanceTo(simtime.Time(fr.ReadyAt.Load()))
+					}
+					return pageRef{fr: fr, fp: fp}, nil
+				}
+			}
+			fp.Unref()
+			continue // stale frame; retry
+		}
+
+		// Slow path: try to become the initializer.
+		if fp.TryBeginInit() {
+			fr, err := fs.allocFrame(b, fc, offset)
+			if err != nil {
+				fp.AbortInit()
+				return pageRef{}, err
+			}
+			if err := fs.fillPage(b, f, fr, offset); err != nil {
+				fs.cache.Release(fr, false)
+				fc.frames.Add(-1)
+				fp.AbortInit()
+				return pageRef{}, err
+			}
+			b.Busy(fs.opt.APICostPerPage)
+			fp.FinishInit(fr.Index) // holds our reference
+			return pageRef{fr: fr, fp: fp}, nil
+		}
+
+		// Another block is initializing or evicting this slot; yield
+		// and retry. (Warps multiplex on the MP while blocked, §2.)
+		runtime.Gosched()
+	}
+}
+
+// fillPage initializes a freshly allocated frame: zero-fill for O_GWRONCE
+// files (whose pristine content is implicitly zero, so nothing is fetched
+// from the CPU, §3.1), or an RPC read of the page's file content otherwise.
+// Threads of the block perform the copy or zeroing collaboratively (§4.1).
+func (fs *FS) fillPage(b *gpu.Block, f *file, fr *pcache.Frame, offset int64) error {
+	if f.writeOnce {
+		// O_GWRONCE: never fetch; the pristine copy is implicitly all
+		// zeros (§3.1). O_NOSYNC files do NOT take this shortcut: a
+		// page spilled to the host under cache pressure must be
+		// fetched back on the next touch.
+		b.ZeroBytes(fr.Data)
+		fr.WriteOnce.Store(true)
+		fr.ValidBytes.Store(0)
+		fr.ReadyAt.Store(int64(b.Clock.Now()))
+		return nil
+	}
+
+	n, err := fs.client.ReadPages(b.Clock, f.hostFd, offset, fr.Data)
+	if err != nil {
+		return fmt.Errorf("gpufs: faulting page at %d of %q: %w", offset, f.path, err)
+	}
+	if n < len(fr.Data) {
+		// Zero the tail so reads past EOF (after local extension)
+		// observe zeros rather than a previous tenant's bytes.
+		b.ZeroBytes(fr.Data[n:])
+	}
+	fr.ValidBytes.Store(int64(n))
+	fr.ReadyAt.Store(int64(b.Clock.Now()))
+	if f.writeShrd {
+		// General write-sharing: preserve the pristine copy the
+		// diff-and-merge protocol diffs against at sync time.
+		fr.SetPristine(fr.Data[:n])
+	}
+	return nil
+}
+
+// extendValid raises fr.ValidBytes to at least n (atomic max).
+func extendValid(fr *pcache.Frame, n int64) {
+	for {
+		cur := fr.ValidBytes.Load()
+		if n <= cur || fr.ValidBytes.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// extendSize raises fc.size to at least n (atomic max).
+func extendSize(fc *fileCache, n int64) {
+	for {
+		cur := fc.size.Load()
+		if n <= cur || fc.size.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Read implements gread: a positional read of len(dst) bytes at offset off
+// (the pread-style call of Table 1 — no seek pointer exists to share).
+// Unlike gmmap it is not constrained to a single cache page, making it the
+// right call for random access at arbitrary granularity (§5.1.2). Threads
+// of the block copy the data collaboratively. Returns the byte count,
+// short at end of file.
+func (fs *FS) readImpl(b *gpu.Block, fd int, dst []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset %d", ErrInvalid, off)
+	}
+	f, err := fs.lookupFd(fd)
+	if err != nil {
+		return 0, err
+	}
+	if !f.readable {
+		return 0, fmt.Errorf("%w: %q", ErrWriteOnly, f.path)
+	}
+
+	size := f.fc.size.Load()
+	if off >= size {
+		return 0, nil
+	}
+	want := int64(len(dst))
+	if off+want > size {
+		want = size - off
+	}
+
+	ps := fs.opt.PageSize
+	var done int64
+	for done < want {
+		cur := off + done
+		pageIdx := cur / ps
+		inPage := cur - pageIdx*ps
+		n := ps - inPage
+		if n > want-done {
+			n = want - done
+		}
+
+		ref, err := fs.getPage(b, f, pageIdx)
+		if err != nil {
+			return int(done), err
+		}
+		ref.fr.Lock()
+		b.CopyBytes(dst[done:done+n], ref.fr.Data[inPage:inPage+n])
+		ref.fr.Unlock()
+		ref.release()
+		done += n
+	}
+	if fs.opt.ReadAheadPages > 0 {
+		fs.readAhead(b, f, (off+done-1)/ps+1)
+	}
+	return int(done), nil
+}
+
+// Write implements gwrite: a positional write of len(src) bytes at offset
+// off. The data lands in the GPU buffer cache; it propagates to the host
+// only on gfsync/gmsync or under cache pressure (§3.2). Each thread issues
+// a memory fence when the write completes so a later page-out by DMA
+// observes the data (§4.1).
+func (fs *FS) writeImpl(b *gpu.Block, fd int, src []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset %d", ErrInvalid, off)
+	}
+	f, err := fs.lookupFd(fd)
+	if err != nil {
+		return 0, err
+	}
+	if !f.writable {
+		return 0, fmt.Errorf("%w: %q", ErrReadOnly, f.path)
+	}
+
+	ps := fs.opt.PageSize
+	want := int64(len(src))
+	var done int64
+	for done < want {
+		cur := off + done
+		pageIdx := cur / ps
+		inPage := cur - pageIdx*ps
+		n := ps - inPage
+		if n > want-done {
+			n = want - done
+		}
+
+		ref, err := fs.getPage(b, f, pageIdx)
+		if err != nil {
+			return int(done), err
+		}
+		ref.fr.Lock()
+		b.CopyBytes(ref.fr.Data[inPage:inPage+n], src[done:done+n])
+		extendValid(ref.fr, inPage+n)
+		ref.fr.Unlock()
+		ref.fr.Dirty.Store(true)
+		ref.release()
+		done += n
+	}
+	extendSize(f.fc, off+want)
+	b.MemFence()
+	return int(done), nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"gpufs/internal/core/radix"
+	"gpufs/internal/gpu"
+)
+
+// Info is the result of gfstat.
+type Info struct {
+	// Path the file was opened with.
+	Path string
+	// Ino is the host inode number.
+	Ino int64
+	// Size reflects the file size at the time of the first gopen that
+	// opened this file on the host (Table 1), extended by writes issued
+	// locally on this GPU.
+	Size int64
+}
+
+// Fstat implements gfstat. It is served entirely from GPU-resident state —
+// no CPU communication — because the open file table already captured the
+// metadata at first open (Table 1).
+func (fs *FS) fstatImpl(b *gpu.Block, fd int) (Info, error) {
+	f, err := fs.lookupFd(fd)
+	if err != nil {
+		return Info{}, err
+	}
+	b.Busy(fs.opt.APICostPerPage)
+	return Info{
+		Path: f.path,
+		Ino:  f.fc.ino,
+		Size: f.fc.size.Load(),
+	}, nil
+}
+
+// Ftruncate implements gftruncate: it truncates the host file to size via
+// RPC and reclaims any buffer-cache pages wholly beyond the new end
+// (Table 1). The page straddling the boundary has its valid extent clamped.
+func (fs *FS) ftruncateImpl(b *gpu.Block, fd int, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("%w: truncate to %d", ErrInvalid, size)
+	}
+	f, err := fs.lookupFd(fd)
+	if err != nil {
+		return err
+	}
+	if !f.writable {
+		return fmt.Errorf("%w: %q", ErrReadOnly, f.path)
+	}
+	if err := fs.client.Truncate(b.Clock, f.hostFd, size); err != nil {
+		return err
+	}
+
+	fc := f.fc
+	fc.size.Store(size)
+	ps := fs.opt.PageSize
+	fc.tree.ForEachReadyPage(func(idx uint64, p *radix.FPage) bool {
+		pageOff := int64(idx) * ps
+		if pageOff+ps <= size {
+			return true
+		}
+		if !p.TryEvict() {
+			return true // in use; its stale tail is masked by fc.size
+		}
+		if fi := p.Frame(); fi >= 0 {
+			fr := fs.cache.Frame(fi)
+			if pageOff >= size {
+				// Wholly beyond the new end: reclaim.
+				fs.cache.Release(fr, false)
+				fc.frames.Add(-1)
+				p.FinishEvict()
+				b.Busy(fs.opt.APICostPerPage)
+				return true
+			}
+			// Straddling page: clamp the valid extent and zero the
+			// tail, so a later local write past the new end cannot
+			// re-expose pre-truncation bytes.
+			v := size - pageOff
+			fr.Lock()
+			if fr.ValidBytes.Load() > v {
+				fr.ValidBytes.Store(v)
+			}
+			b.ZeroBytes(fr.Data[v:])
+			fr.Unlock()
+			p.FinishInit(fi)
+			p.Unref()
+			return true
+		}
+		p.FinishEvict()
+		return true
+	})
+	fs.refreshGeneration(b, fc, f.hostFd)
+	return nil
+}
+
+// Unlink implements gunlink: the file is removed on the host and any local
+// buffer space is reclaimed immediately (Table 1). If the file is currently
+// open on this GPU, the host unlink still happens; local pages are
+// discarded when the last gclose retires the descriptor.
+func (fs *FS) unlinkImpl(b *gpu.Block, path string) error {
+	if err := fs.client.Unlink(b.Clock, path); err != nil {
+		return err
+	}
+
+	fs.mu.Lock()
+	if fd, ok := fs.byPath[path]; ok {
+		// Still open: mark for discard at final close.
+		fs.fds[fd].unlinked = true
+		fs.mu.Unlock()
+		return nil
+	}
+	var victimIno int64 = -1
+	for ino, fc := range fs.closed {
+		if fc.path == path {
+			victimIno = ino
+			break
+		}
+	}
+	var fc *fileCache
+	if victimIno >= 0 {
+		fc = fs.closed[victimIno]
+		delete(fs.closed, victimIno)
+		delete(fs.closedByPath, path)
+	}
+	fs.mu.Unlock()
+
+	if fc != nil {
+		fs.discardCache(b, fc)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"gpufs/internal/core/pcache"
+	"gpufs/internal/core/radix"
+	"gpufs/internal/gpu"
+	"gpufs/internal/trace"
+)
+
+// allocFrame obtains a free frame for (fc, offset), running the paging
+// algorithm on the calling threadblock when the pool is empty. GPUfs has no
+// daemon threads — paging "hijacks" the calling thread and must therefore
+// be fast: the FIFO-like policy does a bounded amount of work per page
+// (§4.2), unlike clock-style algorithms.
+func (fs *FS) allocFrame(b *gpu.Block, fc *fileCache, offset int64) (*pcache.Frame, error) {
+	const maxIdleRounds = 4096
+	lastAllocs := fs.cache.Allocs()
+	for idle := 0; idle < maxIdleRounds; {
+		if fr := fs.cache.TryAlloc(fc.tree.ID(), offset); fr != nil {
+			fc.frames.Add(1)
+			return fr, nil
+		}
+		// Escalate the reclamation window as we starve, so heavy
+		// thrash (28 blocks through a tiny cache) still converges.
+		n, err := fs.evictPages(b, fs.opt.EvictBatch+idle/64)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			idle = 0
+			continue
+		}
+		// We reclaimed nothing — but exhaustion is only real if NOBODY
+		// is making progress. Other blocks winning the freed frames is
+		// contention, not deadlock.
+		if a := fs.cache.Allocs(); a != lastAllocs {
+			lastAllocs = a
+			idle = 0
+		} else {
+			idle++
+		}
+		runtime.Gosched()
+	}
+	return nil, fmt.Errorf("%w: for %q offset %d (%s)", ErrCacheFull, fc.path, offset, fs.pagingSummary())
+}
+
+// pagingSummary renders the paging state for ErrCacheFull diagnostics.
+func (fs *FS) pagingSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "free=%d/%d", fs.cache.FreeFrames(), fs.cache.NumFrames())
+	for _, v := range fs.pickVictims() {
+		refs := 0
+		ready := 0
+		for _, leaf := range v.fc.tree.OldestLeaves(1 << 20) {
+			for i := 0; i < 64; i++ {
+				p := leaf.Page(i)
+				if p.Ready() {
+					ready++
+				}
+				refs += int(p.Refs())
+			}
+		}
+		fmt.Fprintf(&b, " %s[class=%d frames=%d ready=%d refs=%d leaves=%d]",
+			v.fc.path, v.class, v.fc.frames.Load(), ready, refs, v.fc.tree.Leaves())
+	}
+	return b.String()
+}
+
+// victim describes a reclamation candidate file.
+type victim struct {
+	fc     *fileCache
+	hostFd int64
+	class  int // 0 closed, 1 open read-only, 2 open writable
+}
+
+// pickVictims snapshots the file tables in reclamation-priority order:
+// closed files first (not in use, usually clean, reclaimable without
+// GPU–CPU communication), then read-only open files, and writable open
+// files as a last resort — the policy of §4.2.
+func (fs *FS) pickVictims() []victim {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	var out []victim
+	for _, fc := range fs.closed {
+		if fc.frames.Load() > 0 {
+			out = append(out, victim{fc: fc, hostFd: fc.keepFd.Load(), class: 0})
+		}
+	}
+	var ro, rw []victim
+	for _, f := range fs.fds {
+		if f == nil || f.fc == nil || f.fc.frames.Load() == 0 {
+			continue
+		}
+		if f.writable {
+			rw = append(rw, victim{fc: f.fc, hostFd: f.hostFd, class: 2})
+		} else {
+			ro = append(ro, victim{fc: f.fc, hostFd: f.hostFd, class: 1})
+		}
+	}
+	out = append(out, ro...)
+	out = append(out, rw...)
+	return out
+}
+
+// evictPages reclaims up to target pages, preferring the oldest last-level
+// radix nodes of the highest-priority victim file (FIFO traversal of the
+// per-file leaf list, lock-free, §4.2). Dirty pages are written back to the
+// host before their frames are released. Returns the number reclaimed.
+func (fs *FS) evictPages(b *gpu.Block, target int) (int, error) {
+	reclaimed := 0
+	for _, v := range fs.pickVictims() {
+		if reclaimed >= target {
+			break
+		}
+		n, err := fs.evictFromFile(b, v, target-reclaimed)
+		if err != nil {
+			return reclaimed, err
+		}
+		reclaimed += n
+	}
+	return reclaimed, nil
+}
+
+func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) (int, error) {
+	start := b.Clock.Now()
+	fc := v.fc
+	reclaimed := 0
+	wroteBack := false
+
+	// Bound the traversal: we look at enough leaves to cover the target
+	// plus slack for referenced pages.
+	maxLeaves := target/16 + 8
+	for _, leaf := range fc.tree.OldestLeaves(maxLeaves) {
+		live := 0
+		for i := 0; i < 64 && reclaimed < target; i++ {
+			fp := leaf.Page(i)
+			if !fp.Ready() {
+				if !fp.Empty() {
+					live++ // initializing or evicting: owns a frame
+				}
+				continue
+			}
+			if !fp.TryEvict() {
+				live++
+				continue
+			}
+			fi := fp.Frame()
+			if fi < 0 {
+				fp.FinishEvict()
+				continue
+			}
+			fr := fs.cache.Frame(fi)
+			if fr.Dirty.Load() {
+				if v.hostFd == 0 {
+					// No descriptor to write through — put the
+					// page back rather than lose data.
+					fp.FinishInit(fi)
+					fp.Unref()
+					live++
+					continue
+				}
+				if err := fs.writeBackFrame(b, v.hostFd, fr); err != nil {
+					fp.FinishInit(fi)
+					fp.Unref()
+					return reclaimed, err
+				}
+				wroteBack = true
+			}
+			fs.cache.Release(fr, true)
+			fc.frames.Add(-1)
+			fp.FinishEvict()
+			b.Busy(fs.opt.APICostPerPage)
+			reclaimed++
+		}
+		if live == 0 && leafEmpty(leaf) {
+			fc.tree.RemoveLeaf(leaf)
+		}
+		if reclaimed >= target {
+			break
+		}
+	}
+
+	if wroteBack {
+		fs.refreshGeneration(b, fc, v.hostFd)
+	}
+	if reclaimed > 0 {
+		fs.record(b, trace.OpEvict, fc.path, 0, int64(reclaimed)*fs.opt.PageSize, start, nil)
+	}
+	return reclaimed, nil
+}
+
+// leafEmpty reports whether no slot of the leaf holds — or is in the
+// middle of acquiring — a frame. Detaching a leaf whose slot is mid-
+// initialization would strand the initializer's frame on an unreachable
+// node.
+func leafEmpty(leaf *radix.Node) bool {
+	for i := 0; i < 64; i++ {
+		if !leaf.Page(i).Empty() {
+			return false
+		}
+	}
+	return true
+}

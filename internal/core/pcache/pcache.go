@@ -1,0 +1,257 @@
+// Package pcache implements the physical side of the GPU buffer cache
+// (§4.2): the raw data array of pre-allocated pages in device memory, and
+// the array of pframe structures holding per-page metadata. The i'th pframe
+// describes the i'th page of the raw data array, so translating between a
+// page pointer and its metadata is pure index arithmetic — as needed by
+// gmunmap and gmsync.
+//
+// Unlike Linux pframes, GPUfs pframes also carry file-related identity (the
+// owning radix tree's unique id and the page's file offset) because every
+// GPUfs page is backed by a host file; this identity is what lock-free
+// radix-tree readers validate after reaching a frame through a possibly
+// stale path.
+package pcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gpufs/internal/memsys"
+)
+
+// Frame is a pframe: metadata for one buffer-cache page.
+type Frame struct {
+	// Index is the frame's position in the raw data array.
+	Index int32
+
+	// Data is the frame's page in the raw data array.
+	Data []byte
+
+	// FileID is the unique radix-tree id of the owning file cache, used
+	// for lock-free traversal validation; 0 means the frame is free.
+	FileID atomic.Uint64
+	// Offset is the page-aligned file offset the frame caches.
+	Offset atomic.Int64
+	// ValidBytes is the number of meaningful bytes in the page (a page
+	// covering EOF is partially valid).
+	ValidBytes atomic.Int64
+	// Dirty reports whether the page holds local writes not yet
+	// propagated to the host.
+	Dirty atomic.Bool
+	// WriteOnce marks pages of O_GWRONCE files, whose pristine copy is
+	// implicitly all zeros (diff-against-zeros write-back, §3.1).
+	WriteOnce atomic.Bool
+	// ReadyAt is the virtual instant the page's content transfer
+	// completed. Prefetched is set when the transfer was an asynchronous
+	// read-ahead: only then do consumers wait for ReadyAt — a page
+	// faulted synchronously by a racing block is charged to that block,
+	// and a virtually-earlier consumer would have faulted it itself (the
+	// same virtual-order idealization the block scheduler uses).
+	ReadyAt    atomic.Int64
+	Prefetched atomic.Bool
+
+	// mu guards pristine and serializes data-plane access to the page
+	// (writers versus the write-back differ), so concurrent gwrite and
+	// gfsync never race on the same bytes.
+	mu       sync.Mutex
+	pristine []byte
+}
+
+// Lock serializes data access to the frame's page.
+func (f *Frame) Lock() { f.mu.Lock() }
+
+// Unlock releases Lock.
+func (f *Frame) Unlock() { f.mu.Unlock() }
+
+// Snapshot returns consistent copies of the page's valid content and of
+// the pristine copy (nil if none), for race-free diffing during write-back.
+func (f *Frame) Snapshot() (data, pristine []byte, valid int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	valid = f.ValidBytes.Load()
+	data = append([]byte(nil), f.Data[:valid]...)
+	if f.pristine != nil {
+		pristine = append([]byte(nil), f.pristine...)
+	}
+	return data, pristine, valid
+}
+
+// Matches validates the frame's identity: owning tree id and file offset.
+// A lock-free reader calls this after locating a frame to reject frames
+// that were reclaimed and reused behind its back.
+func (f *Frame) Matches(fileID uint64, offset int64) bool {
+	return f.FileID.Load() == fileID && f.Offset.Load() == offset
+}
+
+// SetPristine stores a pristine copy of the page's initial content for
+// later diffing. The slice is copied.
+func (f *Frame) SetPristine(data []byte) {
+	f.mu.Lock()
+	f.pristine = append(f.pristine[:0], data...)
+	f.mu.Unlock()
+}
+
+// Pristine returns the pristine copy, or nil.
+func (f *Frame) Pristine() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pristine
+}
+
+// ClearPristine releases the pristine copy.
+func (f *Frame) ClearPristine() {
+	f.mu.Lock()
+	f.pristine = nil
+	f.mu.Unlock()
+}
+
+// Cache is the global frame pool of one GPU: the raw data array plus the
+// pframe array. For efficiency, pages are pre-allocated in one large
+// contiguous device-memory allocation.
+type Cache struct {
+	pageSize int64
+	raw      *memsys.Block
+	frames   []Frame
+
+	mu   sync.Mutex
+	free []int32 // LIFO free list of frame indexes
+
+	allocs    atomic.Int64
+	reclaimed atomic.Int64
+}
+
+// New carves a cache of totalBytes (rounded down to whole pages) out of the
+// given device-memory arena.
+func New(mem *memsys.Arena, totalBytes, pageSize int64) (*Cache, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("pcache: invalid page size %d", pageSize)
+	}
+	n := totalBytes / pageSize
+	if n < 1 {
+		return nil, fmt.Errorf("pcache: cache of %d bytes holds no %d-byte pages", totalBytes, pageSize)
+	}
+	raw, err := mem.Alloc(n*pageSize, pageSize)
+	if err != nil {
+		return nil, fmt.Errorf("pcache: allocating raw data array: %w", err)
+	}
+	c := &Cache{
+		pageSize: pageSize,
+		raw:      raw,
+		frames:   make([]Frame, n),
+		free:     make([]int32, 0, n),
+	}
+	for i := int64(0); i < n; i++ {
+		f := &c.frames[i]
+		f.Index = int32(i)
+		f.Data = raw.Data[i*pageSize : (i+1)*pageSize : (i+1)*pageSize]
+		f.Offset.Store(-1)
+	}
+	// Free list in reverse so frame 0 is handed out first.
+	for i := int32(n) - 1; i >= 0; i-- {
+		c.free = append(c.free, i)
+	}
+	return c, nil
+}
+
+// Close releases the raw data array back to the device arena.
+func (c *Cache) Close() error { return c.raw.Free() }
+
+// PageSize reports the cache's page size.
+func (c *Cache) PageSize() int64 { return c.pageSize }
+
+// NumFrames reports the total frame count.
+func (c *Cache) NumFrames() int { return len(c.frames) }
+
+// FreeFrames reports how many frames are currently unallocated.
+func (c *Cache) FreeFrames() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.free)
+}
+
+// Allocs reports the cumulative number of frame allocations.
+func (c *Cache) Allocs() int64 { return c.allocs.Load() }
+
+// Reclaimed reports the cumulative number of frames reclaimed by paging
+// (Table 2's "Pages reclaimed" column).
+func (c *Cache) Reclaimed() int64 { return c.reclaimed.Load() }
+
+// Frame returns the pframe at index i.
+func (c *Cache) Frame(i int32) *Frame {
+	return &c.frames[i]
+}
+
+// FrameForData translates a pointer into the raw data array (expressed as
+// the page's first-byte offset within the raw array) back to its pframe, as
+// gmunmap/gmsync must do. Returns nil if off is not page-aligned or out of
+// range.
+func (c *Cache) FrameForData(off int64) *Frame {
+	if off < 0 || off%c.pageSize != 0 {
+		return nil
+	}
+	i := off / c.pageSize
+	if i >= int64(len(c.frames)) {
+		return nil
+	}
+	return &c.frames[i]
+}
+
+// RawOffset reports the offset of frame i's page within the raw data array.
+func (c *Cache) RawOffset(i int32) int64 { return int64(i) * c.pageSize }
+
+// TryAlloc pops a free frame and stamps it with the owner's identity.
+// It returns nil if no frame is free — the caller must then run the paging
+// algorithm (eviction is performed by the calling thread; GPUfs has no
+// daemon threads, §4.2).
+func (c *Cache) TryAlloc(fileID uint64, offset int64) *Frame {
+	c.mu.Lock()
+	if len(c.free) == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	i := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.mu.Unlock()
+
+	f := &c.frames[i]
+	f.FileID.Store(fileID)
+	f.Offset.Store(offset)
+	f.ValidBytes.Store(0)
+	f.Dirty.Store(false)
+	f.WriteOnce.Store(false)
+	f.ReadyAt.Store(0)
+	f.Prefetched.Store(false)
+	f.ClearPristine()
+	c.allocs.Add(1)
+	return f
+}
+
+// ResetTimes clears every frame's transfer-completion timestamp; the
+// benchmark harness calls it when rewinding virtual time, since a ReadyAt
+// from before the rewind would otherwise throw consumers into the old
+// timeline.
+func (c *Cache) ResetTimes() {
+	for i := range c.frames {
+		c.frames[i].ReadyAt.Store(0)
+		c.frames[i].Prefetched.Store(false)
+	}
+}
+
+// Release returns a frame to the free list, clearing its identity so any
+// stale lock-free reader fails validation. reclaimedByPaging distinguishes
+// eviction-driven releases (counted in Reclaimed) from releases on unlink
+// or truncate.
+func (c *Cache) Release(f *Frame, reclaimedByPaging bool) {
+	f.FileID.Store(0)
+	f.Offset.Store(-1)
+	f.Dirty.Store(false)
+	f.WriteOnce.Store(false)
+	f.ClearPristine()
+	if reclaimedByPaging {
+		c.reclaimed.Add(1)
+	}
+	c.mu.Lock()
+	c.free = append(c.free, f.Index)
+	c.mu.Unlock()
+}

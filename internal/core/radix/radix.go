@@ -1,0 +1,431 @@
+// Package radix implements the per-file buffer-cache index of GPUfs: a
+// dynamic radix tree mapping page numbers to fpage slots, designed for
+// lock-free traversal by thousands of concurrent GPU threads (§4.2 of the
+// paper).
+//
+// The concurrency design follows the paper:
+//
+//   - Reads are lock-free; updates (inserting nodes, deleting reclaimed
+//     leaves) take the tree lock and maintain the invariants readers rely
+//     on: child pointers are published atomically and node fields are fully
+//     initialized before a node becomes visible.
+//   - Reads can fail — a slot may be concurrently initialized or reclaimed —
+//     in which case the caller retries; GPUfs retries once more without
+//     locking and falls back to a locked lookup on its third attempt.
+//   - Each tree carries a unique identifier that is propagated to every
+//     page frame it references; the identifier combined with the page
+//     offset lets a reader validate that the frame it reached through a
+//     possibly stale path is in fact the page it wanted.
+//   - fpages are allocated by value inside last-level nodes (in-place data
+//     structures, minimizing pointer traversal), and last-level nodes are
+//     threaded onto a doubly-linked FIFO list used by the paging algorithm.
+//
+// Memory reclamation safety comes from Go's garbage collector, which plays
+// the role the original's in-place arenas and identifier checks play on the
+// GPU: a reader holding a detached node can never observe freed memory,
+// only stale content, which identifier validation rejects.
+package radix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fanout configuration: 6 bits per level, 64-way nodes.
+const (
+	bitsPerLevel = 6
+	fanout       = 1 << bitsPerLevel
+	levelMask    = fanout - 1
+	maxLevels    = 11 // covers 64^11 pages — far beyond any file
+)
+
+// FPage is a page slot in a last-level node. It manages concurrent access
+// to its page frame with a reference count and a small state machine that
+// plays the role of the paper's per-fpage spinlock: initialization,
+// read/write access, and page-out are mutually exclusive.
+type FPage struct {
+	state atomic.Int32
+	refs  atomic.Int32
+	frame atomic.Int32 // pframe index, or -1
+}
+
+// FPage states.
+const (
+	slotEmpty    int32 = iota // no frame attached
+	slotInit                  // a block is fetching/zeroing the page
+	slotReady                 // frame attached and valid
+	slotEvicting              // paging out
+)
+
+// Frame reports the attached pframe index, or -1.
+func (p *FPage) Frame() int32 { return p.frame.Load() }
+
+// Ready reports whether the slot currently holds a valid frame.
+func (p *FPage) Ready() bool { return p.state.Load() == slotReady }
+
+// Empty reports whether the slot holds nothing at all — not even an
+// in-flight initialization or page-out. Only leaves whose slots are all
+// Empty may be detached; an Init-state slot owns a frame that would
+// otherwise leak.
+func (p *FPage) Empty() bool { return p.state.Load() == slotEmpty }
+
+// Refs reports the current reference count (for tests and stats).
+func (p *FPage) Refs() int32 { return p.refs.Load() }
+
+// TryBeginInit attempts to claim an empty slot for initialization. The
+// winner must attach a frame and call FinishInit (or AbortInit).
+func (p *FPage) TryBeginInit() bool {
+	return p.state.CompareAndSwap(slotEmpty, slotInit)
+}
+
+// FinishInit publishes the frame index and makes the slot Ready with one
+// reference held by the initializer (protecting the page during its first
+// use, as reference counts protect pages during memory transfers, §4.1).
+func (p *FPage) FinishInit(frame int32) {
+	p.frame.Store(frame)
+	p.refs.Store(1)
+	p.state.Store(slotReady)
+}
+
+// AbortInit returns a claimed slot to empty (initialization failed).
+func (p *FPage) AbortInit() {
+	p.frame.Store(-1)
+	p.state.Store(slotEmpty)
+}
+
+// TryRef attempts to take a read/write reference on a Ready slot. It can
+// fail if the slot is empty, still initializing, or being paged out — the
+// caller retries per the tree's retry protocol.
+func (p *FPage) TryRef() bool {
+	p.refs.Add(1)
+	if p.state.Load() != slotReady {
+		p.refs.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Unref drops a reference taken by TryRef or FinishInit.
+func (p *FPage) Unref() {
+	p.refs.Add(-1)
+}
+
+// TryEvict attempts to transition a Ready, unreferenced slot to Evicting.
+// On success the caller owns the frame and must call FinishEvict once the
+// frame is released. Fails if any reference is held.
+func (p *FPage) TryEvict() bool {
+	if !p.state.CompareAndSwap(slotReady, slotEvicting) {
+		return false
+	}
+	if p.refs.Load() != 0 {
+		// A racing TryRef got in before our CAS; back off.
+		p.state.Store(slotReady)
+		return false
+	}
+	return true
+}
+
+// FinishEvict completes a successful TryEvict, emptying the slot.
+func (p *FPage) FinishEvict() {
+	p.frame.Store(-1)
+	p.state.Store(slotEmpty)
+}
+
+// Node is a radix-tree node. Interior nodes hold child pointers; last-level
+// (leaf) nodes hold fanout fpages by value and live on the tree's FIFO
+// list for the paging algorithm.
+type Node struct {
+	level int32  // 0 = leaf
+	base  uint64 // first page index covered
+
+	children [fanout]atomic.Pointer[Node] // interior only
+	pages    [fanout]FPage                // leaf only
+
+	// FIFO hooks, managed by the tree under its lock; traversed
+	// lock-free by the paging algorithm.
+	fifoNext atomic.Pointer[Node]
+	fifoPrev atomic.Pointer[Node]
+	onFIFO   bool
+	detached atomic.Bool
+}
+
+// Base reports the first page index covered by a leaf.
+func (n *Node) Base() uint64 { return n.base }
+
+// Page returns the i'th fpage of a leaf node.
+func (n *Node) Page(i int) *FPage { return &n.pages[i] }
+
+// Detached reports whether the leaf has been removed from its tree.
+func (n *Node) Detached() bool { return n.detached.Load() }
+
+// Tree is one file's buffer-cache index.
+type Tree struct {
+	id uint64
+
+	mu     sync.Mutex
+	root   atomic.Pointer[Node]
+	height atomic.Int32 // levels below the root; root covers fanout^(height+1) pages
+
+	// FIFO list of leaves, newest at head.
+	fifoHead atomic.Pointer[Node]
+	fifoTail atomic.Pointer[Node]
+	leaves   int
+
+	// forceLocked makes every lookup take the tree lock — the comparison
+	// baseline of Figure 7.
+	forceLocked atomic.Bool
+
+	lockFreeHits atomic.Int64
+	lockedHits   atomic.Int64
+}
+
+var treeIDs atomic.Uint64
+
+// NewTree creates an empty tree with a process-unique identifier.
+func NewTree() *Tree {
+	return &Tree{id: treeIDs.Add(1)}
+}
+
+// ID reports the tree's unique identifier, which owners propagate to every
+// page frame referenced by the tree.
+func (t *Tree) ID() uint64 { return t.id }
+
+// SetForceLocked switches the tree into locked-traversal mode (Figure 7's
+// baseline).
+func (t *Tree) SetForceLocked(on bool) { t.forceLocked.Store(on) }
+
+// CountRetry records a failed unlocked attempt that forced a retry; the
+// paper's Table 2 lumps these into the locked-access count ("Locked access
+// count also includes unlocked retries").
+func (t *Tree) CountRetry() { t.lockedHits.Add(1) }
+
+// Stats reports how many lookups completed lock-free versus via the locked
+// path (Table 2's instrumentation; the locked count includes fallbacks
+// after failed unlocked retries).
+func (t *Tree) Stats() (lockFree, locked int64) {
+	return t.lockFreeHits.Load(), t.lockedHits.Load()
+}
+
+// AddStats folds another counter pair into the tree's (used when a file's
+// cache is recycled through the closed-file table).
+func (t *Tree) AddStats(lockFree, locked int64) {
+	t.lockFreeHits.Add(lockFree)
+	t.lockedHits.Add(locked)
+}
+
+func capacityForHeight(h int32) uint64 {
+	// fanout^(h+1); saturate to avoid overflow.
+	if h >= maxLevels {
+		return ^uint64(0)
+	}
+	return uint64(1) << (uint(h+1) * bitsPerLevel)
+}
+
+// lookupLeaf walks the tree without taking locks and returns the leaf
+// covering idx, or nil if the path is not materialized. The walk is guided
+// by each node's own immutable level field rather than the tree's height,
+// so a reader racing with a root swap always follows a self-consistent
+// path.
+func (t *Tree) lookupLeaf(idx uint64) *Node {
+	n := t.root.Load()
+	if n == nil || idx >= capacityForHeight(n.level) {
+		return nil
+	}
+	for n != nil && n.level > 0 {
+		slot := (idx >> (uint(n.level) * bitsPerLevel)) & levelMask
+		n = n.children[slot].Load()
+	}
+	return n
+}
+
+// Lookup performs one lock-free lookup attempt and returns the fpage slot
+// for page idx, or nil if absent. The caller must validate the attached
+// frame (tree id + offset) and is responsible for the retry protocol; use
+// LookupLocked as the final fallback.
+func (t *Tree) Lookup(idx uint64) *FPage {
+	if t.forceLocked.Load() {
+		return t.LookupLocked(idx)
+	}
+	leaf := t.lookupLeaf(idx)
+	if leaf == nil {
+		return nil
+	}
+	t.lockFreeHits.Add(1)
+	return &leaf.pages[idx&levelMask]
+}
+
+// LookupLocked performs a lookup under the tree lock: the third-attempt
+// fallback of the retry protocol.
+func (t *Tree) LookupLocked(idx uint64) *FPage {
+	t.mu.Lock()
+	leaf := t.lookupLeaf(idx)
+	t.mu.Unlock()
+	t.lockedHits.Add(1)
+	if leaf == nil {
+		return nil
+	}
+	return &leaf.pages[idx&levelMask]
+}
+
+// Insert materializes (if needed) and returns the fpage slot for page idx,
+// along with its leaf. Updates are locked; all node fields are initialized
+// before publication so concurrent lock-free readers always observe
+// consistent nodes.
+func (t *Tree) Insert(idx uint64) (*FPage, *Node) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if t.root.Load() == nil {
+		if idx < fanout {
+			leaf := t.newLeafLocked(0, 0)
+			t.root.Store(leaf)
+			t.height.Store(0)
+			return &leaf.pages[idx&levelMask], leaf
+		}
+		// Start with an interior skeleton tall enough for idx; the walk
+		// below materializes the path (no spurious leaves).
+		h := int32(1)
+		for idx >= capacityForHeight(h) {
+			h++
+		}
+		t.root.Store(&Node{level: h})
+		t.height.Store(h)
+	}
+
+	// Grow the tree upward until it covers idx.
+	for idx >= capacityForHeight(t.height.Load()) {
+		h := t.height.Load()
+		newRoot := &Node{level: h + 1}
+		newRoot.children[0].Store(t.root.Load())
+		t.root.Store(newRoot)
+		t.height.Store(h + 1)
+	}
+
+	// Walk down, materializing the path.
+	n := t.root.Load()
+	for lvl := t.height.Load(); lvl > 0; lvl-- {
+		slot := (idx >> (uint(lvl) * bitsPerLevel)) & levelMask
+		child := n.children[slot].Load()
+		if child == nil {
+			if lvl == 1 {
+				child = t.newLeafLocked(idx&^uint64(levelMask), 0)
+			} else {
+				child = &Node{level: lvl - 1}
+			}
+			n.children[slot].Store(child)
+		}
+		n = child
+	}
+	return &n.pages[idx&levelMask], n
+}
+
+// newLeafLocked allocates a leaf, initializes its fpages, and pushes it on
+// the FIFO head. The tree lock must be held.
+func (t *Tree) newLeafLocked(base uint64, _ int32) *Node {
+	leaf := &Node{level: 0, base: base}
+	for i := range leaf.pages {
+		leaf.pages[i].frame.Store(-1)
+	}
+	// Push on FIFO head (newest first).
+	old := t.fifoHead.Load()
+	leaf.fifoNext.Store(old)
+	if old != nil {
+		old.fifoPrev.Store(leaf)
+	} else {
+		t.fifoTail.Store(leaf)
+	}
+	t.fifoHead.Store(leaf)
+	leaf.onFIFO = true
+	t.leaves++
+	return leaf
+}
+
+// Leaves reports the number of live last-level nodes.
+func (t *Tree) Leaves() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.leaves
+}
+
+// OldestLeaves performs a lock-free traversal of the FIFO list from the
+// tail (oldest allocations first) and returns up to max leaves. The paging
+// algorithm uses this to pick reclamation victims without blocking readers.
+func (t *Tree) OldestLeaves(max int) []*Node {
+	var out []*Node
+	for n := t.fifoTail.Load(); n != nil && len(out) < max; n = n.fifoPrev.Load() {
+		if !n.detached.Load() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RemoveLeaf detaches a fully-evicted leaf from the tree and the FIFO list.
+// Concurrent lock-free readers may still reach the detached leaf; its empty
+// fpages and the frame identifier check make such reads fail harmlessly.
+func (t *Tree) RemoveLeaf(leaf *Node) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if leaf.detached.Load() {
+		return
+	}
+
+	// Unlink from FIFO.
+	if leaf.onFIFO {
+		prev, next := leaf.fifoPrev.Load(), leaf.fifoNext.Load()
+		if prev != nil {
+			prev.fifoNext.Store(next)
+		} else {
+			t.fifoHead.Store(next)
+		}
+		if next != nil {
+			next.fifoPrev.Store(prev)
+		} else {
+			t.fifoTail.Store(prev)
+		}
+		leaf.onFIFO = false
+		t.leaves--
+	}
+
+	// Unlink from the tree (parent slot -> nil). We re-walk from the
+	// root; intermediate nodes are left in place (they are small and the
+	// file cache is typically reused soon — matching the prototype's
+	// minimal-deallocation design).
+	h := t.height.Load()
+	if h == 0 {
+		if t.root.Load() == leaf {
+			t.root.Store(nil)
+		}
+	} else {
+		n := t.root.Load()
+		for lvl := h; n != nil && lvl > 1; lvl-- {
+			slot := (leaf.base >> (uint(lvl) * bitsPerLevel)) & levelMask
+			n = n.children[slot].Load()
+		}
+		if n != nil {
+			slot := (leaf.base >> bitsPerLevel) & levelMask
+			if n.children[slot].Load() == leaf {
+				n.children[slot].Store(nil)
+			}
+		}
+	}
+	leaf.detached.Store(true)
+}
+
+// ForEachReadyPage calls fn for every Ready slot in the tree (best-effort,
+// lock-free; used by gfsync to find dirty pages and by tests).
+func (t *Tree) ForEachReadyPage(fn func(idx uint64, p *FPage) bool) {
+	for n := t.fifoTail.Load(); n != nil; n = n.fifoPrev.Load() {
+		if n.detached.Load() {
+			continue
+		}
+		for i := range n.pages {
+			p := &n.pages[i]
+			if p.Ready() {
+				if !fn(n.base+uint64(i), p) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"gpufs/internal/gpu"
+)
+
+// readAhead prefetches up to Options.ReadAheadPages pages starting at
+// firstPage, asynchronously: each prefetched page's RPC is enqueued at the
+// block's current time but the block does not wait — the page's frame
+// records the transfer's virtual completion, which any later consumer
+// observes through Frame.ReadyAt. This is the buffer-cache read-ahead the
+// paper lists among the optimizations a GPU buffer cache enables (§3.3).
+//
+// Read-ahead is greedy (no sequentiality detector): the paper observes
+// that GPU access patterns look chaotic even for logically sequential
+// workloads because of non-deterministic block scheduling, so per-file
+// stride detection would rarely trigger. The ablation benchmark shows the
+// resulting trade: sequential greads gain, random greads pay for unused
+// transfers.
+func (fs *FS) readAhead(b *gpu.Block, f *file, firstPage int64) {
+	if f.writeOnce || !f.readable {
+		return
+	}
+	ps := fs.opt.PageSize
+	lastPage := (f.fc.size.Load() - 1) / ps
+
+	for i := 0; i < fs.opt.ReadAheadPages; i++ {
+		pageIdx := firstPage + int64(i)
+		if pageIdx > lastPage {
+			return
+		}
+		fs.prefetchPage(b, f, pageIdx)
+	}
+}
+
+// prefetchPage faults one page in without blocking the caller. Pages that
+// are already resident (or being faulted by someone else) are skipped; a
+// full buffer cache aborts the whole read-ahead rather than evicting on
+// behalf of speculative data.
+func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64) {
+	fc := f.fc
+	fp := fc.tree.Lookup(uint64(pageIdx))
+	if fp == nil {
+		fp, _ = fc.tree.Insert(uint64(pageIdx))
+	}
+	if !fp.TryBeginInit() {
+		return // resident, in flight, or evicting: nothing to do
+	}
+
+	fr := fs.cache.TryAlloc(fc.tree.ID(), pageIdx*fs.opt.PageSize)
+	if fr == nil {
+		// No free frame: speculative reads never trigger eviction.
+		fp.AbortInit()
+		return
+	}
+	fc.frames.Add(1)
+
+	n, done, err := fs.client.ReadPagesAsync(b.Clock, f.hostFd, pageIdx*fs.opt.PageSize, fr.Data)
+	if err != nil {
+		fs.cache.Release(fr, false)
+		fc.frames.Add(-1)
+		fp.AbortInit()
+		return
+	}
+	if n < len(fr.Data) {
+		b.ZeroBytes(fr.Data[n:])
+	}
+	fr.ValidBytes.Store(int64(n))
+	fr.ReadyAt.Store(int64(done))
+	fr.Prefetched.Store(true)
+	if f.writeShrd {
+		fr.SetPristine(fr.Data[:n])
+	}
+	b.Busy(fs.opt.APICostPerPage)
+	fp.FinishInit(fr.Index)
+	fp.Unref()
+}

@@ -1,0 +1,160 @@
+// Package cudart is a small host-side GPU runtime modelled on the CUDA
+// driver API surface the paper's *baseline* implementations use: pinned
+// host memory (cudaHostMalloc), device allocations (cudaMalloc),
+// synchronous and asynchronous memcpy, and streams. The GPUfs comparisons
+// in the evaluation — "CUDA pipeline", "whole file transfer", "CUDA
+// naïve/optimized double-buffering", the "vanilla" grep — are hand-coded
+// host programs; reproducing them against the same simulated bus and
+// device keeps the GPUfs-versus-baseline comparisons apples-to-apples.
+package cudart
+
+import (
+	"fmt"
+
+	"gpufs/internal/gpu"
+	"gpufs/internal/hostfs"
+	"gpufs/internal/memsys"
+	"gpufs/internal/pcie"
+	"gpufs/internal/simtime"
+)
+
+// apiOverhead is the host-side cost of one CUDA runtime call (enqueue,
+// driver entry). Real cudaMemcpyAsync invocations cost several
+// microseconds, which is what degrades small-chunk pipelines (Figure 4's
+// left edge).
+const apiOverhead = 8 * simtime.Microsecond
+
+// Runtime binds a host thread (with its clock) to one device.
+type Runtime struct {
+	host  *hostfs.FS
+	link  *pcie.Link
+	dev   *gpu.Device
+	clock *simtime.Clock
+
+	pinned int64
+}
+
+// New creates a runtime whose host-thread clock starts at the given time.
+func New(host *hostfs.FS, link *pcie.Link, dev *gpu.Device, start simtime.Time) *Runtime {
+	return &Runtime{host: host, link: link, dev: dev, clock: simtime.NewClock(start)}
+}
+
+// Clock is the host thread's virtual clock.
+func (r *Runtime) Clock() *simtime.Clock { return r.clock }
+
+// Host returns the host file system.
+func (r *Runtime) Host() *hostfs.FS { return r.host }
+
+// Device returns the bound device.
+func (r *Runtime) Device() *gpu.Device { return r.dev }
+
+// HostMalloc allocates pinned (page-locked) host memory. Pinned memory is
+// not pageable, so it competes with the OS page cache for RAM — the effect
+// that degrades the double-buffering baselines once inputs approach RAM
+// size (§5.1.4).
+func (r *Runtime) HostMalloc(n int64) []byte {
+	r.host.ReservePinned(n)
+	r.pinned += n
+	return make([]byte, n)
+}
+
+// HostFree releases pinned memory accounting (the Go slice is left to the
+// garbage collector).
+func (r *Runtime) HostFree(n int64) {
+	r.host.ReservePinned(-n)
+	r.pinned -= n
+}
+
+// Close releases all pinned-memory accounting held by the runtime.
+func (r *Runtime) Close() {
+	if r.pinned > 0 {
+		r.host.ReservePinned(-r.pinned)
+		r.pinned = 0
+	}
+}
+
+// Malloc allocates device memory.
+func (r *Runtime) Malloc(n int64) (*memsys.Block, error) {
+	b, err := r.dev.Mem.Alloc(n, 256)
+	if err != nil {
+		return nil, fmt.Errorf("cudart: cudaMalloc(%d): %w", n, err)
+	}
+	return b, nil
+}
+
+// Memcpy is the synchronous cudaMemcpy: the host thread blocks until the
+// transfer completes.
+func (r *Runtime) Memcpy(dst, src []byte, dir pcie.Direction) error {
+	r.clock.Advance(apiOverhead)
+	done, err := r.link.Copy(r.clock.Now(), dir, dst, src)
+	if err != nil {
+		return err
+	}
+	r.clock.AdvanceTo(done)
+	return nil
+}
+
+// Pread reads from a host file into a (pinned) buffer on the host thread's
+// clock, charging page-cache or disk time.
+func (r *Runtime) Pread(f *hostfs.File, buf []byte, off int64) (int, error) {
+	return f.Pread(r.clock, buf, off)
+}
+
+// Stream is an asynchronous command queue: operations are ordered within
+// the stream but overlap the host thread and other streams, which is how
+// the baselines pipeline file reads, DMA, and kernel execution.
+type Stream struct {
+	r   *Runtime
+	pos simtime.Time
+}
+
+// NewStream creates a stream whose first operation may begin no earlier
+// than the host thread's current time.
+func (r *Runtime) NewStream() *Stream {
+	return &Stream{r: r, pos: r.clock.Now()}
+}
+
+// MemcpyAsync enqueues a transfer on the stream (cudaMemcpyAsync): the host
+// thread continues immediately; the stream's position advances to the
+// transfer's completion.
+func (s *Stream) MemcpyAsync(dst, src []byte, dir pcie.Direction) error {
+	// Enqueueing costs host time; the transfer cannot start before the
+	// host thread issued it.
+	s.r.clock.Advance(apiOverhead)
+	start := s.pos
+	if now := s.r.clock.Now(); now > start {
+		start = now
+	}
+	done, err := s.r.link.Copy(start, dir, dst, src)
+	if err != nil {
+		return err
+	}
+	s.pos = done
+	return nil
+}
+
+// Launch enqueues a kernel on the stream and advances the stream position
+// to its completion. (The simulated kernel body executes on the calling
+// goroutine; only its virtual timing is stream-ordered.)
+func (s *Stream) Launch(blocks, threads int, fn gpu.BlockFunc) error {
+	s.r.clock.Advance(apiOverhead)
+	start := s.pos
+	if now := s.r.clock.Now(); now > start {
+		start = now
+	}
+	end, err := s.r.dev.Launch(start, blocks, threads, fn)
+	if err != nil {
+		return err
+	}
+	s.pos = end
+	return nil
+}
+
+// Pos reports the stream's current completion frontier.
+func (s *Stream) Pos() simtime.Time { return s.pos }
+
+// Synchronize blocks the host thread until the stream drains
+// (cudaStreamSynchronize).
+func (s *Stream) Synchronize() {
+	s.r.clock.AdvanceTo(s.pos)
+}

@@ -1,0 +1,80 @@
+package disk
+
+import (
+	"testing"
+
+	"gpufs/internal/simtime"
+)
+
+func TestSequentialReadsPayOneSeek(t *testing.T) {
+	d := New(100*simtime.MBps, 10*simtime.Millisecond)
+	end1 := d.Read(0, 1, 0, 1e6)      // seek + 10ms transfer
+	end2 := d.Read(end1, 1, 1e6, 1e6) // contiguous: transfer only
+	if want := simtime.Time(10*simtime.Millisecond + 10*simtime.Millisecond); end1 != want {
+		t.Fatalf("first read end %v, want %v", end1, want)
+	}
+	if got := end2 - end1; got != simtime.Time(10*simtime.Millisecond) {
+		t.Fatalf("sequential read cost %v, want 10ms", simtime.Duration(got))
+	}
+	if _, _, seeks := d.Stats(); seeks != 1 {
+		t.Fatalf("seeks = %d, want 1", seeks)
+	}
+}
+
+func TestRandomReadsSeek(t *testing.T) {
+	d := New(100*simtime.MBps, 10*simtime.Millisecond)
+	d.Read(0, 1, 0, 1000)
+	d.Read(0, 1, 5_000_000, 1000) // discontiguous: seek
+	d.Read(0, 2, 0, 1000)         // different inode: seek
+	if _, _, seeks := d.Stats(); seeks != 3 {
+		t.Fatalf("seeks = %d, want 3", seeks)
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	d := New(100*simtime.MBps, simtime.Millisecond)
+	d.Write(0, 1, 0, 4096)
+	read, written, _ := d.Stats()
+	if read != 0 || written != 4096 {
+		t.Fatalf("stats: read=%d written=%d", read, written)
+	}
+}
+
+func TestZeroByteAccessFree(t *testing.T) {
+	d := New(100*simtime.MBps, simtime.Millisecond)
+	if end := d.Read(42, 1, 0, 0); end != 42 {
+		t.Fatalf("zero-byte read should be free, end=%v", end)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(100*simtime.MBps, simtime.Millisecond)
+	d.Read(0, 1, 0, 1e6)
+	d.Reset()
+	if r, w, s := d.Stats(); r != 0 || w != 0 || s != 0 {
+		t.Fatalf("reset did not clear stats")
+	}
+	if d.Busy() != 0 {
+		t.Fatalf("reset did not clear timeline")
+	}
+}
+
+func TestConcurrentRequestsSerialize(t *testing.T) {
+	d := New(100*simtime.MBps, 0)
+	// Two 10ms reads issued at t=0 must serialize on the head.
+	e1 := d.Read(0, 1, 0, 1e6)
+	e2 := d.Read(0, 1, 1e6, 1e6)
+	if e1 == e2 {
+		t.Fatalf("disk must serialize: %v %v", e1, e2)
+	}
+	if later := max64(int64(e1), int64(e2)); later != int64(20*simtime.Millisecond) {
+		t.Fatalf("total %v, want 20ms", simtime.Duration(later))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

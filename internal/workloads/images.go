@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpufs/internal/hostfs"
+	"gpufs/internal/simtime"
+)
+
+// ImageBytes is the size of one image: a 4K-element feature vector
+// (§5.2.1; 2,016 input images amount to 31.5 MB).
+const ImageBytes = 16 << 10
+
+// ImageFlops is the arithmetic cost of one image-to-image comparison
+// (Euclidean distance over 4K elements: one subtract and one
+// multiply-accumulate per element).
+const ImageFlops = 2 * 4096
+
+// MatchPlan places query images inside the databases.
+type MatchPlan int
+
+// Match plans for the Table 3 and §5.2.1 experiments.
+const (
+	// MatchNone: queries match nothing; all databases are scanned fully
+	// (the raw-performance configuration).
+	MatchNone MatchPlan = iota
+	// MatchRandom: every query is injected at a random location in a
+	// random database ("Exact match").
+	MatchRandom
+	// MatchFirstPage: every query matches the first entry of the first
+	// database — the paper's degenerate best case, where searches
+	// terminate after one page and runtime drops ~400x (§5.2.1).
+	MatchFirstPage
+)
+
+// ImageSpec describes an image-search workload.
+type ImageSpec struct {
+	// Dir is the host directory for the generated files.
+	Dir string
+	// DBImages is the image count of each database file (the paper uses
+	// three databases of ~25,000 images each).
+	DBImages []int
+	// Queries is the number of query images.
+	Queries int
+	// Plan controls match placement.
+	Plan MatchPlan
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// ImageWorkload is a generated image-search input.
+type ImageWorkload struct {
+	// DBPaths are the database files, to be scanned in this priority
+	// order.
+	DBPaths []string
+	// QueryPath is the query-set file.
+	QueryPath string
+	// Queries is the raw query blob (Queries x ImageBytes).
+	Queries []byte
+	// Truth[q] is the expected first match of query q: database index
+	// and image index, or (-1, -1).
+	Truth []ImageMatch
+	// DBBytes is the total database volume.
+	DBBytes int64
+}
+
+// ImageMatch locates a match.
+type ImageMatch struct {
+	DB, Index int
+}
+
+// NoMatch is the Truth entry for an unmatched query.
+var NoMatch = ImageMatch{DB: -1, Index: -1}
+
+// makeImage renders a deterministic pseudo-random image.
+func makeImage(seed int64, out []byte) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < len(out); i += 8 {
+		v := rng.Uint64()
+		for j := 0; j < 8 && i+j < len(out); j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+// MakeImageWorkload generates the databases and query set in fs.
+func MakeImageWorkload(fs *hostfs.FS, clock *simtime.Clock, spec ImageSpec) (*ImageWorkload, error) {
+	if spec.Queries <= 0 || len(spec.DBImages) == 0 {
+		return nil, fmt.Errorf("workloads: image spec needs queries and databases")
+	}
+	mode := hostfs.ModeRead | hostfs.ModeWrite
+	if err := fs.MkdirAll(spec.Dir, hostfs.ModeDir|mode); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	w := &ImageWorkload{Truth: make([]ImageMatch, spec.Queries)}
+
+	// Queries: seeds disjoint from database seeds. In the degenerate
+	// first-page plan, every query is a copy of the first database
+	// entry, so all searches terminate after one page.
+	w.Queries = make([]byte, spec.Queries*ImageBytes)
+	if spec.Plan == MatchFirstPage {
+		first := make([]byte, ImageBytes)
+		makeImage(spec.Seed, first)
+		for q := 0; q < spec.Queries; q++ {
+			copy(w.Queries[q*ImageBytes:], first)
+			w.Truth[q] = ImageMatch{DB: 0, Index: 0}
+		}
+	} else {
+		for q := 0; q < spec.Queries; q++ {
+			makeImage(spec.Seed+1_000_000+int64(q), w.Queries[q*ImageBytes:(q+1)*ImageBytes])
+			w.Truth[q] = NoMatch
+		}
+	}
+
+	// Decide injection sites.
+	type site struct{ db, idx, query int }
+	var sites []site
+	switch spec.Plan {
+	case MatchNone, MatchFirstPage:
+		// No injection sites: first-page queries already duplicate the
+		// natural first entry of database 0.
+	case MatchRandom:
+		for q := 0; q < spec.Queries; q++ {
+			db := rng.Intn(len(spec.DBImages))
+			idx := rng.Intn(spec.DBImages[db])
+			sites = append(sites, site{db, idx, q})
+		}
+	}
+	// First injection at a slot wins (earlier query keeps the site).
+	taken := make(map[[2]int]int)
+	for _, s := range sites {
+		key := [2]int{s.db, s.idx}
+		if _, dup := taken[key]; !dup {
+			taken[key] = s.query
+		}
+	}
+
+	// Write databases.
+	for db, count := range spec.DBImages {
+		blob := make([]byte, count*ImageBytes)
+		for i := 0; i < count; i++ {
+			img := blob[i*ImageBytes : (i+1)*ImageBytes]
+			switch {
+			case spec.Plan == MatchFirstPage && db == 0 && i == 0:
+				makeImage(spec.Seed, img) // the image every query copies
+			default:
+				if q, hit := taken[[2]int{db, i}]; hit {
+					copy(img, w.Queries[q*ImageBytes:(q+1)*ImageBytes])
+				} else {
+					makeImage(spec.Seed+int64(db)*1_000_000_000+int64(i), img)
+				}
+			}
+		}
+		path := fmt.Sprintf("%s/db%d.img", spec.Dir, db)
+		if err := fs.WriteFile(clock, path, blob, mode); err != nil {
+			return nil, err
+		}
+		w.DBPaths = append(w.DBPaths, path)
+		w.DBBytes += int64(len(blob))
+	}
+
+	// Ground truth: the FIRST database (in priority order) containing
+	// each query, lowest index within it. (First-page plans set truth
+	// during query generation.)
+	for key, q := range taken {
+		cur := w.Truth[q]
+		cand := ImageMatch{DB: key[0], Index: key[1]}
+		if cur == NoMatch || cand.DB < cur.DB || (cand.DB == cur.DB && cand.Index < cur.Index) {
+			w.Truth[q] = cand
+		}
+	}
+
+	w.QueryPath = spec.Dir + "/queries.img"
+	if err := fs.WriteFile(clock, w.QueryPath, w.Queries, mode); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,274 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"gpufs"
+	"gpufs/internal/hostfs"
+	"gpufs/internal/simtime"
+)
+
+// The approximate image matching application of §5.2.1: given query images
+// and several databases, find for each query the first database (in a fixed
+// priority order) containing a match, scanning later databases only when
+// needed. Matching here is exact byte equality — the degenerate threshold
+// of the paper's Euclidean metric — which preserves the experiment's
+// data-dependent control flow while keeping real compute trivial; the full
+// metric's arithmetic cost is charged in virtual time (ImageFlops per
+// comparison).
+
+// imgChunkImages is how many database images one gread fetches.
+const imgChunkImages = 16
+
+// ImageSearchResult is one run's outcome.
+type ImageSearchResult struct {
+	// Matches[q] is query q's first match (NoMatch if none).
+	Matches []ImageMatch
+	// Elapsed is the virtual makespan.
+	Elapsed simtime.Duration
+}
+
+// ImageSearchGPUfs runs the GPUfs implementation across the first numGPUs
+// devices of the system, splitting the query list equally (the Table 3
+// scaling experiment). blocks and threads shape each GPU's kernel; the
+// paper uses 28 blocks of 512 threads.
+//
+// The entire application is GPU-kernel code: queries are read with gread,
+// databases are scanned with gread, and results are written to outPath with
+// gwrite under O_GWRONCE — the associated CPU code is just the kernel
+// launch.
+func ImageSearchGPUfs(sys *gpufs.System, w *ImageWorkload, numGPUs, blocks, threads int, outPath string) (*ImageSearchResult, error) {
+	nq := len(w.Queries) / ImageBytes
+	res := &ImageSearchResult{Matches: make([]ImageMatch, nq)}
+	for i := range res.Matches {
+		res.Matches[i] = NoMatch
+	}
+	var resMu sync.Mutex
+
+	var wg sync.WaitGroup
+	var meter simtime.Meter
+	errs := make([]error, numGPUs)
+
+	perGPU := (nq + numGPUs - 1) / numGPUs
+	for g := 0; g < numGPUs; g++ {
+		qLo := g * perGPU
+		qHi := qLo + perGPU
+		if qHi > nq {
+			qHi = nq
+		}
+		if qLo >= qHi {
+			continue
+		}
+		wg.Add(1)
+		go func(g, qLo, qHi int) {
+			defer wg.Done()
+			end, err := sys.GPU(g).Launch(0, blocks, threads, func(c *gpufs.BlockCtx) error {
+				m, err := imageSearchBlock(c, w, qLo, qHi, outPath)
+				if err != nil {
+					return err
+				}
+				resMu.Lock()
+				for q, match := range m {
+					res.Matches[q] = match
+				}
+				resMu.Unlock()
+				return nil
+			})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			meter.Observe(end)
+		}(g, qLo, qHi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Elapsed = simtime.Duration(meter.Max())
+	return res, nil
+}
+
+// imageSearchBlock is the threadblock body: it owns an interleaved slice of
+// the GPU's query range and scans the databases in priority order,
+// dropping queries as they match.
+func imageSearchBlock(c *gpufs.BlockCtx, w *ImageWorkload, qLo, qHi int, outPath string) (map[int]ImageMatch, error) {
+	// Load this block's queries.
+	qfd, err := c.Gopen(w.QueryPath, gpufs.O_RDONLY)
+	if err != nil {
+		return nil, err
+	}
+	var mine []int
+	for q := qLo + c.Idx; q < qHi; q += c.Blocks {
+		mine = append(mine, q)
+	}
+	queries := make(map[int][]byte, len(mine))
+	for _, q := range mine {
+		buf := make([]byte, ImageBytes)
+		if _, err := c.Gread(qfd, buf, int64(q)*ImageBytes); err != nil {
+			return nil, err
+		}
+		queries[q] = buf
+	}
+	if err := c.Gclose(qfd); err != nil {
+		return nil, err
+	}
+
+	matches := make(map[int]ImageMatch)
+	active := mine
+
+	chunk := make([]byte, imgChunkImages*ImageBytes)
+	for db := 0; db < len(w.DBPaths) && len(active) > 0; db++ {
+		fd, err := c.Gopen(w.DBPaths[db], gpufs.O_RDONLY)
+		if err != nil {
+			return nil, err
+		}
+		info, err := c.Gfstat(fd)
+		if err != nil {
+			return nil, err
+		}
+		for off := int64(0); off < info.Size && len(active) > 0; off += int64(len(chunk)) {
+			n, err := c.Gread(fd, chunk, off)
+			if err != nil {
+				return nil, err
+			}
+			images := n / ImageBytes
+			// Charge the full comparison arithmetic for this chunk.
+			c.Compute(float64(ImageFlops * images * len(active)))
+			for i := 0; i < images; i++ {
+				img := chunk[i*ImageBytes : (i+1)*ImageBytes]
+				keep := active[:0]
+				for _, q := range active {
+					if bytes.Equal(queries[q], img) {
+						matches[q] = ImageMatch{DB: db, Index: int(off/ImageBytes) + i}
+					} else {
+						keep = append(keep, q)
+					}
+				}
+				active = keep
+			}
+		}
+		if err := c.Gclose(fd); err != nil {
+			return nil, err
+		}
+	}
+
+	// Emit results: 8 bytes per query (db, index), written once each —
+	// the O_GWRONCE pattern.
+	ofd, err := c.Gopen(outPath, gpufs.O_GWRONCE)
+	if err != nil {
+		return nil, err
+	}
+	rec := make([]byte, 8)
+	for _, q := range mine {
+		m, ok := matches[q]
+		if !ok {
+			m = NoMatch
+		}
+		binary.LittleEndian.PutUint32(rec[0:], uint32(int32(m.DB)+2))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(int32(m.Index)+2))
+		if _, err := c.Gwrite(ofd, rec, int64(q)*8); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Gfsync(ofd); err != nil {
+		return nil, err
+	}
+	if err := c.Gclose(ofd); err != nil {
+		return nil, err
+	}
+	return matches, nil
+}
+
+// ImageSearchCPU runs the 8-core OpenMP-style CPU baseline: workers split
+// the query list, each scanning the databases through the host file system.
+// Arithmetic is charged at the calibrated CPU rate (the paper's GPU
+// sustains 2x this 8-core throughput).
+func ImageSearchCPU(host *hostfs.FS, w *ImageWorkload, cores int, flops float64) (*ImageSearchResult, error) {
+	nq := len(w.Queries) / ImageBytes
+	res := &ImageSearchResult{Matches: make([]ImageMatch, nq)}
+	perCore := flops / float64(cores)
+
+	var wg sync.WaitGroup
+	var meter simtime.Meter
+	errs := make([]error, cores)
+
+	per := (nq + cores - 1) / cores
+	for cpu := 0; cpu < cores; cpu++ {
+		lo, hi := cpu*per, (cpu+1)*per
+		if hi > nq {
+			hi = nq
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(cpu, lo, hi int) {
+			defer wg.Done()
+			clock := simtime.NewClock(0)
+			core := simtime.NewResource(fmt.Sprintf("cpu-core-%d", cpu))
+			err := imageSearchCPUWorker(host, w, clock, core, perCore, lo, hi, res)
+			if err != nil {
+				errs[cpu] = err
+				return
+			}
+			meter.Observe(clock.Now())
+		}(cpu, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Elapsed = simtime.Duration(meter.Max())
+	return res, nil
+}
+
+func imageSearchCPUWorker(host *hostfs.FS, w *ImageWorkload, clock *simtime.Clock, core *simtime.Resource, perCore float64, lo, hi int, res *ImageSearchResult) error {
+	active := make([]int, 0, hi-lo)
+	for q := lo; q < hi; q++ {
+		active = append(active, q)
+		res.Matches[q] = NoMatch
+	}
+	chunk := make([]byte, imgChunkImages*ImageBytes)
+	for db := 0; db < len(w.DBPaths) && len(active) > 0; db++ {
+		f, err := host.Open(clock, w.DBPaths[db], hostfs.O_RDONLY, 0)
+		if err != nil {
+			return err
+		}
+		for off := int64(0); len(active) > 0; off += int64(len(chunk)) {
+			n, err := f.Pread(clock, chunk, off)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			images := n / ImageBytes
+			cost := float64(ImageFlops*images*len(active)) / perCore
+			clock.Use(core, simtime.Duration(cost*float64(simtime.Second)))
+			for i := 0; i < images; i++ {
+				img := chunk[i*ImageBytes : (i+1)*ImageBytes]
+				keep := active[:0]
+				for _, q := range active {
+					qimg := w.Queries[q*ImageBytes : (q+1)*ImageBytes]
+					if bytes.Equal(qimg, img) {
+						res.Matches[q] = ImageMatch{DB: db, Index: int(off/ImageBytes) + i}
+					} else {
+						keep = append(keep, q)
+					}
+				}
+				active = keep
+			}
+		}
+		f.Close()
+	}
+	return nil
+}

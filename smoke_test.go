@@ -1,0 +1,88 @@
+package gpufs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testSystem(t *testing.T, scale float64) *System {
+	t.Helper()
+	cfg := ScaledConfig(scale)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestSmokeReadBack(t *testing.T) {
+	sys := testSystem(t, 1.0/64)
+
+	content := make([]byte, 1<<20)
+	for i := range content {
+		content[i] = byte(i * 7)
+	}
+	if err := sys.WriteHostFile("/data/in.bin", content); err != nil {
+		t.Fatalf("WriteHostFile: %v", err)
+	}
+
+	got := make([]byte, len(content))
+	end, err := sys.GPU(0).Launch(0, 8, 256, func(c *BlockCtx) error {
+		fd, err := c.Gopen("/data/in.bin", O_RDONLY)
+		if err != nil {
+			return err
+		}
+		defer c.Gclose(fd)
+		chunk := len(content) / c.Blocks
+		off := c.Idx * chunk
+		_, err = c.Gread(fd, got[off:off+chunk], int64(off))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if end <= 0 {
+		t.Fatalf("kernel completed at non-positive virtual time %v", end)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("read-back mismatch")
+	}
+}
+
+func TestSmokeWriteSync(t *testing.T) {
+	sys := testSystem(t, 1.0/64)
+
+	out := make([]byte, 256<<10)
+	for i := range out {
+		out[i] = byte(i ^ 0x5a)
+	}
+	_, err := sys.GPU(0).Launch(0, 4, 256, func(c *BlockCtx) error {
+		fd, err := c.Gopen("/out.bin", O_GWRONCE)
+		if err != nil {
+			return err
+		}
+		chunk := len(out) / c.Blocks
+		off := c.Idx * chunk
+		if _, err := c.Gwrite(fd, out[off:off+chunk], int64(off)); err != nil {
+			return err
+		}
+		if err := c.Gfsync(fd); err != nil {
+			return err
+		}
+		return c.Gclose(fd)
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+
+	got, err := sys.ReadHostFile("/out.bin")
+	if err != nil {
+		t.Fatalf("ReadHostFile: %v", err)
+	}
+	if len(got) != len(out) {
+		t.Fatalf("host file size %d, want %d", len(got), len(out))
+	}
+	if !bytes.Equal(got, out) {
+		t.Fatalf("write-back mismatch")
+	}
+}
