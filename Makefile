@@ -1,0 +1,31 @@
+# Verification tiers.
+#
+#   tier1      — the commit gate: everything builds, all tests pass.
+#   tier2      — the merge gate: vet clean and the full suite under the
+#                race detector (the stress/oracle tests run 500 seeds
+#                concurrently, so this is where sync bugs die).
+#   fuzz-smoke — 30s coverage-guided run of the radix-tree fuzzer; CI
+#                budget, not a soak. Extend -fuzztime for real hunts.
+#   stress     — the fault-injection oracle at full depth (500 seeds),
+#                race-enabled, on its own for quick iteration.
+
+GO ?= go
+
+.PHONY: tier1 tier2 fuzz-smoke stress bench
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRadixTree -fuzztime 30s ./internal/core/radix
+
+stress:
+	$(GO) test -race -count=1 -run TestFaultStressOracle ./internal/core
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

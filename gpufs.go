@@ -39,6 +39,7 @@ import (
 	"fmt"
 
 	"gpufs/internal/core"
+	"gpufs/internal/faults"
 	"gpufs/internal/gpu"
 	"gpufs/internal/hostfs"
 	"gpufs/internal/params"
@@ -53,6 +54,11 @@ import (
 // internal/params for field documentation. DefaultConfig matches the
 // paper's testbed (4 TESLA C2075 GPUs, PCIe 2.0, 7200RPM disk).
 type Config = params.Config
+
+// FaultConfig sets the seeded fault-injection schedule; see internal/faults
+// for the per-site probability and magnitude fields. Pass it to
+// System.EnableFaults.
+type FaultConfig = faults.Config
 
 // Open flags for Gopen.
 const (
@@ -103,6 +109,7 @@ type System struct {
 	hostClock *simtime.Clock
 
 	tracer *trace.Tracer
+	faults *faults.Injector
 }
 
 // GPU is one device together with its GPUfs instance.
@@ -236,11 +243,34 @@ func (s *System) EnableTracing(capacity int) *trace.Tracer {
 		g.fs.SetTracer(tr)
 	}
 	s.tracer = tr
+	// Injected faults and RPC retries appear among the workload's events.
+	s.faults.SetTracer(tr)
 	return tr
 }
 
 // Tracer returns the tracer installed by EnableTracing, or nil.
 func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// EnableFaults installs a seeded fault injector across the whole machine:
+// the RPC daemon (slow polls, lost/duplicated responses, transient EAGAIN),
+// the host file system and disk (EIO, short reads, bad sectors, fsync
+// failures, latency spikes), and the PCIe complex (DMA stalls, bandwidth
+// degradation). The schedule is a pure function of cfg.Seed. Returns the
+// injector, whose SetEnabled toggles injection without losing counters.
+func (s *System) EnableFaults(cfg FaultConfig) *faults.Injector {
+	inj := faults.New(cfg)
+	s.host.SetFaultInjector(inj)
+	s.bus.SetFaultInjector(inj)
+	s.server.SetFaultInjector(inj)
+	s.faults = inj
+	if s.tracer != nil {
+		inj.SetTracer(s.tracer)
+	}
+	return inj
+}
+
+// FaultInjector returns the injector installed by EnableFaults, or nil.
+func (s *System) FaultInjector() *faults.Injector { return s.faults }
 
 // ResetTime returns every virtual-time resource in the machine (host memory
 // bus, disk, DMA channels, RPC daemon, GPU execution slots) to idle, and
@@ -296,10 +326,12 @@ func (g *GPU) Restart() {
 }
 
 // Stats returns the GPUfs instrumentation counters for this device,
-// including the host daemon's RPC totals.
+// including the host daemon's RPC totals and the machine-wide injected
+// fault count (zero unless EnableFaults was called).
 func (g *GPU) Stats() Stats {
 	st := g.fs.Snapshot()
 	st.RPCRequests = g.sys.server.TotalRequests()
+	st.FaultsInjected = g.sys.faults.TotalInjected()
 	return st
 }
 

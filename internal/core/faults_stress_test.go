@@ -1,0 +1,355 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"gpufs/internal/faults"
+	"gpufs/internal/gpu"
+	"gpufs/internal/hostfs"
+	"gpufs/internal/pcie"
+	"gpufs/internal/rpc"
+	"gpufs/internal/simtime"
+	"gpufs/internal/wrapfs"
+)
+
+// faultHarness is newHarness plus an injector wired into every layer and a
+// deeper RPC retry budget: with per-attempt failure odds capped at ~0.24
+// (drop + transient), 12 attempts drive per-op give-up below 1e-7, so the
+// workload's must-succeed ops (open, truncate) effectively never exhaust.
+type faultHarness struct {
+	*harness
+	inj *faults.Injector
+}
+
+func newFaultHarness(t *testing.T, opt Options, fcfg faults.Config) *faultHarness {
+	t.Helper()
+	host := hostfs.New(hostfs.Options{
+		DiskBandwidth:   132 * simtime.MBps,
+		DiskSeek:        simtime.Millisecond,
+		MemBandwidth:    6600 * simtime.MBps,
+		CacheBytes:      256 << 20,
+		SyscallOverhead: 4 * simtime.Microsecond,
+	})
+	layer := wrapfs.New(host)
+	bus := pcie.New(pcie.Config{
+		Bandwidth:        5731 * simtime.MBps,
+		DMALatency:       15 * simtime.Microsecond,
+		Channels:         4,
+		HostMemBandwidth: 6600 * simtime.MBps,
+	}, host.MemBus())
+	server := rpc.NewServer(rpc.Config{
+		PollInterval:  10 * simtime.Microsecond,
+		HandleCost:    12 * simtime.Microsecond,
+		ReturnLatency: 2 * simtime.Microsecond,
+		MaxAttempts:   12,
+	}, layer)
+
+	inj := faults.New(fcfg)
+	server.SetFaultInjector(inj)
+	host.SetFaultInjector(inj)
+	bus.SetFaultInjector(inj)
+
+	h := &harness{host: host, layer: layer, server: server}
+	dev := gpu.New(gpu.Config{
+		ID: 0, MPs: 4, BlocksPerMP: 2, WarpSize: 32,
+		MemBytes:     opt.CacheBytes * 2,
+		MemBandwidth: 144_000 * simtime.MBps,
+		Flops:        1e9, ScratchpadBytes: 48 << 10,
+	})
+	link := bus.NewLink(0, dev.MemBandwidthResource(), 144_000*simtime.MBps)
+	fs, err := New(0, opt, server.NewClient(0, link), dev.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.devs = append(h.devs, dev)
+	h.fss = append(h.fss, fs)
+	return &faultHarness{harness: h, inj: inj}
+}
+
+// TestFaultStressOracle is the oracle test run under randomized fault
+// schedules. Each seed derives both the fault probabilities and the op
+// sequence, so every run is reproducible bit-for-bit. The contract under
+// faults is weaker than the fault-free oracle's — individual reads, writes
+// and fsyncs may fail — but never silently wrong:
+//
+//   - whatever byte count an op DOES report must be truthful: a read's
+//     returned prefix matches the model, a failed write applied exactly
+//     its returned prefix;
+//   - a gfsync that reports success really made the host identical to the
+//     local view;
+//   - once faults stop, one gfsync round drains all damage (deferred
+//     write-back errors surface at most once) and the host converges to
+//     the model byte-for-byte.
+//
+// Invalidation is part of the contract, not noise: a lost generation
+// refresh or a timed-out Validate legitimately discards the cache at the
+// next gopen (close-to-open consistency forfeits unsynced writes), which
+// the model detects via the closed-table-reuse counter and mirrors by
+// resetting to host content.
+func TestFaultStressOracle(t *testing.T) {
+	seeds := 500
+	if testing.Short() {
+		seeds = 50
+	}
+	var totalInjected atomic.Int64
+	t.Cleanup(func() {
+		if !t.Failed() && totalInjected.Load() == 0 {
+			t.Errorf("no faults fired across %d seeds; the stress test is vacuous", seeds)
+		}
+	})
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runFaultStress(t, seed, &totalInjected)
+		})
+	}
+}
+
+func runFaultStress(t *testing.T, seed int64, totalInjected *atomic.Int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fcfg := faults.Config{
+		Seed:                seed,
+		RPCPollDelayProb:    rng.Float64() * 0.30,
+		RPCDropResponseProb: rng.Float64() * 0.12,
+		RPCDupResponseProb:  rng.Float64() * 0.15,
+		RPCTransientProb:    rng.Float64() * 0.12,
+		HostShortReadProb:   rng.Float64() * 0.40,
+		HostReadEIOProb:     rng.Float64() * 0.05,
+		HostWriteEIOProb:    rng.Float64() * 0.05,
+		HostFsyncEIOProb:    rng.Float64() * 0.10,
+		DiskStallProb:       rng.Float64() * 0.10,
+		DMAStallProb:        rng.Float64() * 0.10,
+		DMADegradeProb:      rng.Float64() * 0.10,
+		// BadSectorRate stays 0: persistent sectors would make
+		// convergence impossible by design, not by bug.
+	}
+
+	opt := defaultOpt()
+	opt.CacheBytes = 6 * opt.PageSize // constant eviction pressure
+	h := newFaultHarness(t, opt, fcfg)
+	fs := h.fss[0]
+	defer func() { totalInjected.Add(h.inj.TotalInjected()) }()
+
+	const maxFile = 200 << 10 // ~12 pages, double the cache
+	h.inj.SetEnabled(false)
+	h.write(t, "/stress", nil)
+	h.inj.SetEnabled(true)
+
+	model := []byte{} // expected host view after a full sync
+	var gpuSize int64 // expected fc.size: partial writes do NOT extend it
+	open := false
+	var fd int
+
+	var log []string
+	logf := func(format string, args ...any) {
+		log = append(log, fmt.Sprintf(format, args...))
+	}
+	defer func() {
+		if t.Failed() {
+			t.Logf("fault mix: %s", h.inj.FormatCounts())
+			start := len(log) - 60
+			if start < 0 {
+				start = 0
+			}
+			for _, l := range log[start:] {
+				t.Log(l)
+			}
+		}
+	}()
+
+	// ensureOpen reopens the file and reconciles the model with whatever
+	// the consistency layer decided. If the reopen was NOT served from the
+	// closed file table (first open, external modification, or a
+	// fault-starved validation), the cache was discarded and the local
+	// view legally reset to host content.
+	ensureOpen := func(b *gpu.Block) error {
+		if open {
+			return nil
+		}
+		reuses := fs.closedReuses.Load()
+		var err error
+		fd, err = fs.Open(b, "/stress", O_RDWR)
+		if err != nil {
+			return fmt.Errorf("open: %w", err)
+		}
+		open = true
+		if fs.closedReuses.Load() == reuses {
+			h.inj.SetEnabled(false)
+			model = append([]byte(nil), h.read(t, "/stress")...)
+			gpuSize = int64(len(model))
+			h.inj.SetEnabled(true)
+			logf("   (cache invalidated: model reset to %d host bytes)", len(model))
+		}
+		return nil
+	}
+
+	h.run(t, 0, func(b *gpu.Block) error {
+		for step := 0; step < 140; step++ {
+			switch op := rng.Intn(100); {
+			case op < 35: // gwrite: tolerated; applies exactly its returned prefix
+				if err := ensureOpen(b); err != nil {
+					return err
+				}
+				off := rng.Intn(maxFile - 1)
+				n := rng.Intn(min(8<<10, maxFile-off)) + 1
+				data := make([]byte, n)
+				rng.Read(data)
+				got, err := fs.Write(b, fd, data, int64(off))
+				logf("%d: write off=%d n=%d -> got=%d err=%v", step, off, n, got, err)
+				if err != nil && got > n {
+					return fmt.Errorf("step %d: failed write reported %d of %d bytes", step, got, n)
+				}
+				if err == nil && got != n {
+					return fmt.Errorf("step %d: successful write reported %d of %d bytes", step, got, n)
+				}
+				if got > 0 {
+					if off+got > len(model) {
+						grown := make([]byte, off+got)
+						copy(grown, model)
+						model = grown
+					}
+					copy(model[off:], data[:got])
+				}
+				if err == nil && int64(off+n) > gpuSize {
+					gpuSize = int64(off + n)
+				}
+
+			case op < 70: // gread: tolerated; any returned prefix must be truthful
+				if err := ensureOpen(b); err != nil {
+					return err
+				}
+				if len(model) == 0 {
+					continue
+				}
+				off := rng.Intn(len(model))
+				n := rng.Intn(16<<10) + 1
+				buf := make([]byte, n)
+				got, err := fs.Read(b, fd, buf, int64(off))
+				logf("%d: read off=%d n=%d -> got=%d err=%v", step, off, n, got, err)
+				want := int(gpuSize) - off
+				if want > n {
+					want = n
+				}
+				if want < 0 {
+					want = 0
+				}
+				if err == nil && got != want {
+					return fmt.Errorf("step %d: read length %d, want %d (off %d, gpuSize %d)",
+						step, got, want, off, gpuSize)
+				}
+				if err != nil && got > want {
+					return fmt.Errorf("step %d: failed read reported %d > reachable %d", step, got, want)
+				}
+				if !bytes.Equal(buf[:got], model[off:off+got]) {
+					return fmt.Errorf("step %d: read content mismatch at %d+%d", step, off, got)
+				}
+
+			case op < 78: // gfsync: success must mean host == local view
+				if err := ensureOpen(b); err != nil {
+					return err
+				}
+				err := fs.Fsync(b, fd)
+				logf("%d: fsync err=%v", step, err)
+				if err != nil {
+					continue // deferred write-back or injected failure: retry later
+				}
+				h.inj.SetEnabled(false)
+				host := h.read(t, "/stress")
+				h.inj.SetEnabled(true)
+				if !bytes.Equal(host, model) {
+					i := 0
+					for i < len(host) && i < len(model) && host[i] == model[i] {
+						i++
+					}
+					return fmt.Errorf("step %d: host diverges after successful gfsync at byte %d (sizes %d/%d)",
+						step, i, len(host), len(model))
+				}
+
+			case op < 82: // gfsync_disk: stable-storage flush, failure tolerated
+				if err := ensureOpen(b); err != nil {
+					return err
+				}
+				err := fs.FsyncDisk(b, fd)
+				logf("%d: fsyncDisk err=%v", step, err)
+
+			case op < 88: // gclose: only a deferred write-back error may surface
+				if open {
+					err := fs.Close(b, fd)
+					logf("%d: close err=%v", step, err)
+					open = false
+				}
+
+			case op < 94: // gftruncate: must-succeed (retry budget absorbs faults)
+				if err := ensureOpen(b); err != nil {
+					return err
+				}
+				size := rng.Intn(maxFile)
+				logf("%d: truncate size=%d", step, size)
+				if err := fs.Ftruncate(b, fd, int64(size)); err != nil {
+					return fmt.Errorf("step %d truncate: %w", step, err)
+				}
+				if size < len(model) {
+					model = model[:size]
+				} else {
+					grown := make([]byte, size)
+					copy(grown, model)
+					model = grown
+				}
+				gpuSize = int64(size)
+
+			default: // external host write while closed on the GPU
+				if open {
+					continue
+				}
+				n := rng.Intn(maxFile/2) + 1
+				data := make([]byte, n)
+				rng.Read(data)
+				logf("%d: external write n=%d", step, n)
+				h.inj.SetEnabled(false)
+				h.write(t, "/stress", data)
+				h.inj.SetEnabled(true)
+				// The next gopen sees a new generation and invalidates;
+				// ensureOpen's reuse check resets the model to match.
+			}
+		}
+
+		// Recovery phase: faults stop, and the system must converge.
+		h.inj.SetEnabled(false)
+		if err := ensureOpen(b); err != nil {
+			return err
+		}
+		// The first clean gfsync may surface one deferred write-back error
+		// from an earlier failed eviction — POSIX errno semantics — but it
+		// still flushes everything, so the second must be silent.
+		if err := fs.Fsync(b, fd); err != nil {
+			logf("recovery: first fsync drained deferred error: %v", err)
+			if err := fs.Fsync(b, fd); err != nil {
+				return fmt.Errorf("recovery: deferred error surfaced twice: %w", err)
+			}
+		}
+		if err := fs.Fsync(b, fd); err != nil {
+			return fmt.Errorf("recovery: clean fsync failed: %w", err)
+		}
+		if err := fs.Close(b, fd); err != nil {
+			return fmt.Errorf("recovery: clean close failed: %w", err)
+		}
+		return nil
+	})
+
+	host := h.read(t, "/stress")
+	if !bytes.Equal(host, model) {
+		i := 0
+		for i < len(host) && i < len(model) && host[i] == model[i] {
+			i++
+		}
+		t.Fatalf("final host content diverges from model at byte %d: %d vs %d bytes", i, len(host), len(model))
+	}
+	if fs.Cache().Reclaimed() == 0 {
+		t.Fatalf("stress run exerted no eviction pressure; shrink the cache")
+	}
+}

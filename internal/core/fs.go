@@ -180,6 +180,36 @@ type fileCache struct {
 	// lastFlags records the flags of the retired open, so a reopen with
 	// identical flags can take the fast path.
 	lastFlags int
+
+	// wbErr is the sticky asynchronous write-back error (POSIX errseq_t
+	// semantics): when eviction-driven write-back fails, the error is
+	// recorded here and surfaced exactly once — at the next gfsync, or at
+	// the final gclose if no sync intervenes.
+	wbMu  sync.Mutex
+	wbErr error
+}
+
+// recordWriteErr notes an asynchronous write-back failure; the first error
+// wins until a sync reports it.
+func (fc *fileCache) recordWriteErr(err error) {
+	if err == nil {
+		return
+	}
+	fc.wbMu.Lock()
+	if fc.wbErr == nil {
+		fc.wbErr = err
+	}
+	fc.wbMu.Unlock()
+}
+
+// takeWriteErr returns the pending write-back error and clears it, so each
+// failure is reported exactly once.
+func (fc *fileCache) takeWriteErr() error {
+	fc.wbMu.Lock()
+	err := fc.wbErr
+	fc.wbErr = nil
+	fc.wbMu.Unlock()
+	return err
 }
 
 // New creates the GPUfs instance for one GPU, carving the buffer cache out
@@ -510,10 +540,13 @@ func (fs *FS) closeImpl(b *gpu.Block, fd int) error {
 		if f.noSync && !f.unlinked {
 			return fs.client.Unlink(b.Clock, f.path)
 		}
-		return nil
+		return fc.takeWriteErr()
 	}
 
-	return nil
+	// Final close surfaces any asynchronous write-back error that no
+	// gfsync reported (POSIX: close is the last chance to learn the data
+	// didn't make it).
+	return fc.takeWriteErr()
 }
 
 func (fs *FS) fileLocked(fd int) (*file, error) {
@@ -576,6 +609,12 @@ type Stats struct {
 	ClosedTableReuses int64
 	// RPCRequests is the total RPC count to the host daemon.
 	RPCRequests int64
+	// RPCRetries and RPCTimeouts count the retry protocol's activity
+	// (nonzero only under fault injection).
+	RPCRetries  int64
+	RPCTimeouts int64
+	// FaultsInjected is the machine-wide injected-fault total.
+	FaultsInjected int64
 }
 
 // Snapshot gathers current statistics.
@@ -587,6 +626,8 @@ func (fs *FS) Snapshot() Stats {
 		Opens:             fs.opens.Load(),
 		HostOpens:         fs.hostOpens.Load(),
 		ClosedTableReuses: fs.closedReuses.Load(),
+		RPCRetries:        fs.client.Retries(),
+		RPCTimeouts:       fs.client.Timeouts(),
 	}
 	fs.mu.Lock()
 	for _, f := range fs.fds {

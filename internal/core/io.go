@@ -35,24 +35,25 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 			fc.tree.CountRetry()
 		}
 		var fp *radix.FPage
+		var leaf *radix.Node
 		if attempt < 2 && !fs.opt.ForceLockedTraversal {
 			// The lock-free walk is a few dependent reads of radix
 			// nodes: device-memory traffic, largely hidden by warp
 			// multiplexing, competing only for memory bandwidth.
 			b.UseMemory(fs.opt.RadixLookupLockFree)
-			fp = fc.tree.Lookup(uint64(pageIdx))
+			fp, leaf = fc.tree.LookupLeaf(uint64(pageIdx))
 		} else {
 			// Third attempt (or forced mode): locked traversal.
 			// Locked lookups serialize on the tree in virtual time,
 			// which is what makes them ~3x slower under contention
 			// (Figure 7).
 			b.Clock.Use(fc.lockRes, fs.opt.RadixLookupLocked)
-			fp = fc.tree.LookupLocked(uint64(pageIdx))
+			fp, leaf = fc.tree.LookupLockedLeaf(uint64(pageIdx))
 		}
 		if fp == nil {
 			// Path not materialized: insert the slot (a locked
 			// update) and fall through to claim it.
-			fp, _ = fc.tree.Insert(uint64(pageIdx))
+			fp, leaf = fc.tree.Insert(uint64(pageIdx))
 		}
 
 		// Fast path: the page is resident.
@@ -76,6 +77,14 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 
 		// Slow path: try to become the initializer.
 		if fp.TryBeginInit() {
+			if leaf.Detached() {
+				// Claim/detach race (see radix.RemoveLeaf): the leaf
+				// left the tree between our lookup and the claim.
+				// Initializing a frame here would strand it on an
+				// unreachable node; retry through a fresh lookup.
+				fp.AbortInit()
+				continue
+			}
 			fr, err := fs.allocFrame(b, fc, offset)
 			if err != nil {
 				fp.AbortInit()

@@ -26,10 +26,7 @@ func (fs *FS) allocFrame(b *gpu.Block, fc *fileCache, offset int64) (*pcache.Fra
 		}
 		// Escalate the reclamation window as we starve, so heavy
 		// thrash (28 blocks through a tiny cache) still converges.
-		n, err := fs.evictPages(b, fs.opt.EvictBatch+idle/64)
-		if err != nil {
-			return nil, err
-		}
+		n := fs.evictPages(b, fs.opt.EvictBatch+idle/64)
 		if n > 0 {
 			idle = 0
 			continue
@@ -111,22 +108,23 @@ func (fs *FS) pickVictims() []victim {
 // radix nodes of the highest-priority victim file (FIFO traversal of the
 // per-file leaf list, lock-free, §4.2). Dirty pages are written back to the
 // host before their frames are released. Returns the number reclaimed.
-func (fs *FS) evictPages(b *gpu.Block, target int) (int, error) {
+//
+// A write-back failure never fails the (innocent) block that happened to
+// trigger paging: the error is recorded on the owning file's cache and
+// surfaced at that file's next gfsync or final gclose, and the dirty page
+// stays resident so the data is not lost.
+func (fs *FS) evictPages(b *gpu.Block, target int) int {
 	reclaimed := 0
 	for _, v := range fs.pickVictims() {
 		if reclaimed >= target {
 			break
 		}
-		n, err := fs.evictFromFile(b, v, target-reclaimed)
-		if err != nil {
-			return reclaimed, err
-		}
-		reclaimed += n
+		reclaimed += fs.evictFromFile(b, v, target-reclaimed)
 	}
-	return reclaimed, nil
+	return reclaimed
 }
 
-func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) (int, error) {
+func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) int {
 	start := b.Clock.Now()
 	fc := v.fc
 	reclaimed := 0
@@ -165,9 +163,13 @@ func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) (int, error) {
 					continue
 				}
 				if err := fs.writeBackFrame(b, v.hostFd, fr); err != nil {
+					// Keep the page (still dirty) and move on; the
+					// owner learns of the failure at its next sync.
+					fc.recordWriteErr(err)
 					fp.FinishInit(fi)
 					fp.Unref()
-					return reclaimed, err
+					live++
+					continue
 				}
 				wroteBack = true
 			}
@@ -191,7 +193,7 @@ func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) (int, error) {
 	if reclaimed > 0 {
 		fs.record(b, trace.OpEvict, fc.path, 0, int64(reclaimed)*fs.opt.PageSize, start, nil)
 	}
-	return reclaimed, nil
+	return reclaimed
 }
 
 // leafEmpty reports whether no slot of the leaf holds — or is in the

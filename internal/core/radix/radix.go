@@ -243,28 +243,42 @@ func (t *Tree) lookupLeaf(idx uint64) *Node {
 // frame (tree id + offset) and is responsible for the retry protocol; use
 // LookupLocked as the final fallback.
 func (t *Tree) Lookup(idx uint64) *FPage {
+	p, _ := t.LookupLeaf(idx)
+	return p
+}
+
+// LookupLeaf is Lookup returning the containing leaf as well, so callers
+// that claim the slot for initialization can check leaf.Detached() after
+// TryBeginInit (the claim/detach Dekker protocol of RemoveLeaf).
+func (t *Tree) LookupLeaf(idx uint64) (*FPage, *Node) {
 	if t.forceLocked.Load() {
-		return t.LookupLocked(idx)
+		return t.LookupLockedLeaf(idx)
 	}
 	leaf := t.lookupLeaf(idx)
 	if leaf == nil {
-		return nil
+		return nil, nil
 	}
 	t.lockFreeHits.Add(1)
-	return &leaf.pages[idx&levelMask]
+	return &leaf.pages[idx&levelMask], leaf
 }
 
 // LookupLocked performs a lookup under the tree lock: the third-attempt
 // fallback of the retry protocol.
 func (t *Tree) LookupLocked(idx uint64) *FPage {
+	p, _ := t.LookupLockedLeaf(idx)
+	return p
+}
+
+// LookupLockedLeaf is LookupLocked returning the containing leaf.
+func (t *Tree) LookupLockedLeaf(idx uint64) (*FPage, *Node) {
 	t.mu.Lock()
 	leaf := t.lookupLeaf(idx)
 	t.mu.Unlock()
 	t.lockedHits.Add(1)
 	if leaf == nil {
-		return nil
+		return nil, nil
 	}
-	return &leaf.pages[idx&levelMask]
+	return &leaf.pages[idx&levelMask], leaf
 }
 
 // Insert materializes (if needed) and returns the fpage slot for page idx,
@@ -363,11 +377,34 @@ func (t *Tree) OldestLeaves(max int) []*Node {
 // RemoveLeaf detaches a fully-evicted leaf from the tree and the FIFO list.
 // Concurrent lock-free readers may still reach the detached leaf; its empty
 // fpages and the frame identifier check make such reads fail harmlessly.
+//
+// Readers that CLAIM a slot (TryBeginInit) are the dangerous case: a claim
+// on a leaf detached an instant later would initialize a frame on an
+// unreachable node, leaking it. The two sides run a store-then-verify
+// (Dekker-style) protocol over sequentially consistent atomics:
+//
+//   - RemoveLeaf publishes detached=true FIRST, then verifies every slot is
+//     still Empty; any non-Empty slot rolls the detach back.
+//   - Claimants CAS Empty→Init FIRST, then check leaf.Detached(); if set,
+//     they AbortInit and retry through a fresh lookup.
+//
+// Whatever the interleaving, at least one side observes the other: a claim
+// that survives implies the verify saw Init (detach rolled back); a
+// completed detach implies every later claimant sees detached=true.
 func (t *Tree) RemoveLeaf(leaf *Node) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if leaf.detached.Load() {
 		return
+	}
+
+	leaf.detached.Store(true)
+	for i := range leaf.pages {
+		if !leaf.pages[i].Empty() {
+			// A claimant won the race; keep the leaf.
+			leaf.detached.Store(false)
+			return
+		}
 	}
 
 	// Unlink from FIFO.
@@ -409,7 +446,6 @@ func (t *Tree) RemoveLeaf(leaf *Node) {
 			}
 		}
 	}
-	leaf.detached.Store(true)
 }
 
 // ForEachReadyPage calls fn for every Ready slot in the tree (best-effort,

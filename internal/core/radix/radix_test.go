@@ -209,6 +209,21 @@ func TestRemoveLeaf(t *testing.T) {
 	fp.FinishInit(3)
 	fp.Unref()
 
+	// A leaf with a non-Empty slot must NOT detach: its slot still owns
+	// frame 3, which would be stranded on an unreachable node.
+	tr.RemoveLeaf(leaf)
+	if leaf.Detached() {
+		t.Fatalf("leaf with a Ready slot must not detach")
+	}
+	if tr.Leaves() != 1 {
+		t.Fatalf("leaf count after refused removal: %d", tr.Leaves())
+	}
+
+	// Evict the page; now the leaf is fully empty and removable.
+	if !fp.TryEvict() {
+		t.Fatalf("TryEvict failed on an unreferenced Ready slot")
+	}
+	fp.FinishEvict()
 	tr.RemoveLeaf(leaf)
 	if !leaf.Detached() {
 		t.Fatalf("leaf not detached")

@@ -39,12 +39,20 @@ func (fs *FS) readAhead(b *gpu.Block, f *file, firstPage int64) {
 // behalf of speculative data.
 func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64) {
 	fc := f.fc
-	fp := fc.tree.Lookup(uint64(pageIdx))
+	fp, leaf := fc.tree.LookupLeaf(uint64(pageIdx))
 	if fp == nil {
-		fp, _ = fc.tree.Insert(uint64(pageIdx))
+		fp, leaf = fc.tree.Insert(uint64(pageIdx))
 	}
 	if !fp.TryBeginInit() {
 		return // resident, in flight, or evicting: nothing to do
+	}
+	if leaf.Detached() {
+		// Claim/detach race (see radix.RemoveLeaf): a frame initialized
+		// on a detached leaf is unreachable by eviction and by Restart's
+		// cache drop — it would leak until process exit. Speculative
+		// reads just give up.
+		fp.AbortInit()
+		return
 	}
 
 	fr := fs.cache.TryAlloc(fc.tree.ID(), pageIdx*fs.opt.PageSize)

@@ -83,7 +83,13 @@ func (fs *FS) fsyncImpl(b *gpu.Block, fd int) error {
 	if err != nil {
 		return err
 	}
-	return fs.syncFile(b, f.fc, f.hostFd, 0, -1)
+	err = fs.syncFile(b, f.fc, f.hostFd, 0, -1)
+	if err == nil {
+		// Surface any asynchronous (eviction-driven) write-back failure
+		// recorded since the last sync — exactly once.
+		err = f.fc.takeWriteErr()
+	}
+	return err
 }
 
 // FsyncRange is gfsync restricted to the byte range [off, off+n): the
@@ -104,7 +110,11 @@ func (fs *FS) fsyncRangeImpl(b *gpu.Block, fd int, off, n int64) error {
 	if err != nil {
 		return err
 	}
-	return fs.syncFile(b, f.fc, f.hostFd, off, n)
+	err = fs.syncFile(b, f.fc, f.hostFd, off, n)
+	if err == nil {
+		err = f.fc.takeWriteErr()
+	}
+	return err
 }
 
 // syncFile writes back dirty, unreferenced pages intersecting [off,
@@ -138,8 +148,10 @@ func (fs *FS) syncFile(b *gpu.Block, fc *fileCache, hostFd int64, off, n int64) 
 			p.Unref()
 			return true
 		}
-		if err := fs.writeBackFrame(b, hostFd, fr); err != nil && firstErr == nil {
-			firstErr = err
+		if err := fs.writeBackFrame(b, hostFd, fr); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
 		} else {
 			wrote = true
 		}

@@ -10,7 +10,9 @@ package disk
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"gpufs/internal/faults"
 	"gpufs/internal/simtime"
 )
 
@@ -21,6 +23,9 @@ type Disk struct {
 	res  *simtime.Resource
 	bw   simtime.Rate
 	seek simtime.Duration
+
+	// inj injects latency spikes (stalls); nil means none.
+	inj atomic.Pointer[faults.Injector]
 
 	mu        sync.Mutex
 	lastIno   int64
@@ -62,6 +67,12 @@ func (d *Disk) access(now simtime.Time, ino, off, n int64, write bool) simtime.T
 		cost += d.seek
 		d.seeks++
 	}
+	if inj := d.inj.Load(); inj.Should(faults.DiskStall, now) {
+		// A latency spike: bad-block remap, thermal recalibration, or a
+		// firmware hiccup. The head keeps the request; everything behind
+		// it queues.
+		cost += inj.Delay(faults.DiskStall)
+	}
 	d.lastIno, d.lastEnd = ino, off+n
 	if write {
 		d.bytesWrit += n
@@ -72,6 +83,10 @@ func (d *Disk) access(now simtime.Time, ino, off, n int64, write bool) simtime.T
 	d.mu.Unlock()
 	return end
 }
+
+// SetFaultInjector installs (or, with nil, removes) the disk's fault
+// injector.
+func (d *Disk) SetFaultInjector(inj *faults.Injector) { d.inj.Store(inj) }
 
 // Stats reports cumulative byte and seek counts.
 func (d *Disk) Stats() (read, written, seeks int64) {

@@ -1,0 +1,383 @@
+// Package faults is a seeded, deterministic fault-injection layer for the
+// GPUfs simulation. Production file servers must survive slow polls, lost
+// responses, and I/O errors; the paper's prototype assumes none of these
+// happen. This package lets every layer of the stack — the RPC daemon
+// (internal/rpc), the host file system and its disk (internal/hostfs,
+// internal/disk), and the interconnect (internal/pcie) — ask "does this
+// operation fail, and how?" and get an answer that is a pure function of
+// the configured seed and a per-site call counter.
+//
+// Determinism: each injection site keeps its own atomic call counter, and
+// every decision hashes (seed, site, counter) through a splitmix64-style
+// mixer into a uniform draw. A single-threaded workload therefore replays
+// the exact same fault schedule for a given seed; concurrent workloads
+// replay the same schedule in distribution. Persistent faults (bad
+// sectors) hash (seed, inode, sector) with no counter, so the same sector
+// fails on every access — the difference between a transient EIO a retry
+// can outlast and a media error it cannot.
+//
+// All methods are safe on a nil *Injector and return "no fault", so
+// components can hold an injector pointer unconditionally and pay one nil
+// check on the happy path.
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"gpufs/internal/simtime"
+	"gpufs/internal/trace"
+)
+
+// Site identifies one injection point in the stack.
+type Site int
+
+// Injection sites.
+const (
+	// RPCPollDelay delays the CPU daemon's discovery of an enqueued
+	// request (a slow poll under host load).
+	RPCPollDelay Site = iota
+	// RPCDropResponse loses a completed request's response: the daemon
+	// did the work but the spinning block never observes the reply and
+	// must time out and retry.
+	RPCDropResponse
+	// RPCDupResponse delivers a response twice; the second copy must be
+	// discarded harmlessly.
+	RPCDupResponse
+	// RPCTransient makes the daemon bounce a request with an
+	// EAGAIN-style transient failure before doing any work.
+	RPCTransient
+	// HostShortRead makes a host pread return fewer bytes than
+	// available (not at EOF).
+	HostShortRead
+	// HostReadEIO fails a host pread with EIO.
+	HostReadEIO
+	// HostBadSector is the persistent variant of HostReadEIO: a
+	// deterministic subset of sectors fails on every read.
+	HostBadSector
+	// HostWriteEIO fails a host pwrite with EIO, before any mutation.
+	HostWriteEIO
+	// HostFsyncEIO fails a host fsync with EIO.
+	HostFsyncEIO
+	// DiskStall adds a latency spike to a disk access.
+	DiskStall
+	// DMAStall delays a DMA transfer's start.
+	DMAStall
+	// DMADegrade runs a DMA transfer at degraded link bandwidth.
+	DMADegrade
+	numSites
+)
+
+var siteNames = [numSites]string{
+	"rpc-poll-delay", "rpc-drop-response", "rpc-dup-response", "rpc-transient",
+	"host-short-read", "host-read-eio", "host-bad-sector", "host-write-eio",
+	"host-fsync-eio", "disk-stall", "dma-stall", "dma-degrade",
+}
+
+// String names the injection site.
+func (s Site) String() string {
+	if s >= 0 && int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("Site(%d)", int(s))
+}
+
+// NumSites reports the number of injection sites (for iteration in tests).
+func NumSites() int { return int(numSites) }
+
+// Config sets the per-site fault probabilities and magnitudes. The zero
+// value injects nothing.
+type Config struct {
+	// Seed selects the deterministic fault schedule.
+	Seed int64
+
+	// RPCPollDelayProb is the chance a request's poll is slow;
+	// RPCPollDelayMax bounds the extra delay (default 100µs).
+	RPCPollDelayProb float64
+	RPCPollDelayMax  simtime.Duration
+	// RPCDropResponseProb is the chance a completed request's response
+	// is lost (client times out and retries; the server-side dedup ring
+	// keeps the retry from re-applying the operation).
+	RPCDropResponseProb float64
+	// RPCDupResponseProb is the chance a response is delivered twice.
+	RPCDupResponseProb float64
+	// RPCTransientProb is the chance the daemon bounces a request with
+	// a retryable EAGAIN before doing any work.
+	RPCTransientProb float64
+
+	// HostShortReadProb is the chance a host pread returns short.
+	HostShortReadProb float64
+	// HostReadEIOProb is the chance a host pread fails with EIO.
+	HostReadEIOProb float64
+	// BadSectorRate makes a deterministic fraction of 4 KiB sectors
+	// permanently unreadable: the same sector fails on every read, so
+	// RPC retries cannot mask it.
+	BadSectorRate float64
+	// HostWriteEIOProb is the chance a host pwrite fails with EIO
+	// before mutating anything.
+	HostWriteEIOProb float64
+	// HostFsyncEIOProb is the chance a host fsync fails with EIO.
+	HostFsyncEIOProb float64
+
+	// DiskStallProb adds up to DiskStallMax (default 2ms) of latency to
+	// a disk access.
+	DiskStallProb float64
+	DiskStallMax  simtime.Duration
+
+	// DMAStallProb delays a DMA start by up to DMAStallMax (default
+	// 500µs); DMADegradeProb runs a transfer at DMADegradeFactor of the
+	// link bandwidth (default 0.25).
+	DMAStallProb     float64
+	DMAStallMax      simtime.Duration
+	DMADegradeProb   float64
+	DMADegradeFactor float64
+}
+
+func (c *Config) prob(s Site) float64 {
+	switch s {
+	case RPCPollDelay:
+		return c.RPCPollDelayProb
+	case RPCDropResponse:
+		return c.RPCDropResponseProb
+	case RPCDupResponse:
+		return c.RPCDupResponseProb
+	case RPCTransient:
+		return c.RPCTransientProb
+	case HostShortRead:
+		return c.HostShortReadProb
+	case HostReadEIO:
+		return c.HostReadEIOProb
+	case HostBadSector:
+		return c.BadSectorRate
+	case HostWriteEIO:
+		return c.HostWriteEIOProb
+	case HostFsyncEIO:
+		return c.HostFsyncEIOProb
+	case DiskStall:
+		return c.DiskStallProb
+	case DMAStall:
+		return c.DMAStallProb
+	case DMADegrade:
+		return c.DMADegradeProb
+	}
+	return 0
+}
+
+func (c *Config) magnitude(s Site) simtime.Duration {
+	switch s {
+	case RPCPollDelay:
+		return c.RPCPollDelayMax
+	case DiskStall:
+		return c.DiskStallMax
+	case DMAStall:
+		return c.DMAStallMax
+	}
+	return 0
+}
+
+// badSectorSize is the granularity of persistent read failures.
+const badSectorSize = 4096
+
+// Injector draws deterministic fault decisions. One Injector serves the
+// whole machine; it is safe for concurrent use.
+type Injector struct {
+	cfg     Config
+	enabled atomic.Bool
+
+	calls    [numSites]atomic.Int64 // per-site draw counters (the schedule)
+	injected [numSites]atomic.Int64 // per-site fired counters (stats)
+
+	tracer atomic.Pointer[trace.Tracer]
+}
+
+// New creates an injector for the given config, enabled, with defaulted
+// magnitudes.
+func New(cfg Config) *Injector {
+	if cfg.RPCPollDelayMax <= 0 {
+		cfg.RPCPollDelayMax = 100 * simtime.Microsecond
+	}
+	if cfg.DiskStallMax <= 0 {
+		cfg.DiskStallMax = 2 * simtime.Millisecond
+	}
+	if cfg.DMAStallMax <= 0 {
+		cfg.DMAStallMax = 500 * simtime.Microsecond
+	}
+	if cfg.DMADegradeFactor <= 0 || cfg.DMADegradeFactor > 1 {
+		cfg.DMADegradeFactor = 0.25
+	}
+	inj := &Injector{cfg: cfg}
+	inj.enabled.Store(true)
+	return inj
+}
+
+// Config returns the injector's (defaulted) configuration.
+func (i *Injector) Config() Config { return i.cfg }
+
+// Enabled reports whether injection is active. Safe on nil.
+func (i *Injector) Enabled() bool { return i != nil && i.enabled.Load() }
+
+// SetEnabled toggles injection without losing counters — tests disable it
+// around verification phases. Safe on nil (no-op).
+func (i *Injector) SetEnabled(on bool) {
+	if i != nil {
+		i.enabled.Store(on)
+	}
+}
+
+// SetTracer attaches a tracer; injected faults (and the RPC layer's
+// retries) then appear as events among the workload's operations.
+func (i *Injector) SetTracer(t *trace.Tracer) {
+	if i != nil {
+		i.tracer.Store(t)
+	}
+}
+
+// RecordEvent forwards an event to the attached tracer, if any. The RPC
+// layer uses this to trace its retries next to the injector's faults.
+func (i *Injector) RecordEvent(e trace.Event) {
+	if i == nil {
+		return
+	}
+	if t := i.tracer.Load(); t.Enabled() {
+		t.Record(e)
+	}
+}
+
+// mix is the splitmix64 finalizer: a bijective avalanche mixer.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to a uniform float in [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// draw consumes one tick of the site's schedule and returns its uniform
+// variate.
+func (i *Injector) draw(s Site) float64 {
+	n := i.calls[s].Add(1)
+	return unit(mix(mix(uint64(i.cfg.Seed)+uint64(s)*0x9e3779b9) + uint64(n)))
+}
+
+// fire records an injection at site s for stats and tracing.
+func (i *Injector) fire(s Site, now simtime.Time) {
+	i.injected[s].Add(1)
+	if t := i.tracer.Load(); t.Enabled() {
+		t.Record(trace.Event{
+			GPU: -1, Op: trace.OpFault, Path: s.String(),
+			Start: now, End: now,
+		})
+	}
+}
+
+// Should draws the site's next scheduled decision and reports whether the
+// fault fires at virtual time now. Safe on nil (never fires).
+func (i *Injector) Should(s Site, now simtime.Time) bool {
+	if !i.Enabled() {
+		return false
+	}
+	p := i.cfg.prob(s)
+	if p <= 0 || i.draw(s) >= p {
+		return false
+	}
+	i.fire(s, now)
+	return true
+}
+
+// Delay draws a deterministic duration in (0, max] for a fired delay-class
+// site, where max is the site's configured magnitude.
+func (i *Injector) Delay(s Site) simtime.Duration {
+	if !i.Enabled() {
+		return 0
+	}
+	max := i.cfg.magnitude(s)
+	if max <= 0 {
+		return 0
+	}
+	d := simtime.Duration(i.draw(s) * float64(max))
+	if d < simtime.Microsecond {
+		d = simtime.Microsecond
+	}
+	return d
+}
+
+// Fraction draws a uniform variate in [0, 1) from the site's schedule
+// (used to size short reads).
+func (i *Injector) Fraction(s Site) float64 {
+	if !i.Enabled() {
+		return 0
+	}
+	return i.draw(s)
+}
+
+// DegradeFactor reports the configured bandwidth-degradation factor.
+func (i *Injector) DegradeFactor() float64 {
+	if i == nil {
+		return 1
+	}
+	return i.cfg.DMADegradeFactor
+}
+
+// BadSector reports whether the sector holding (ino, off) is permanently
+// unreadable. The decision hashes (seed, ino, sector) with no counter, so
+// it is stable across retries — the persistent-media-error class. Safe on
+// nil.
+func (i *Injector) BadSector(ino, off int64, now simtime.Time) bool {
+	if !i.Enabled() || i.cfg.BadSectorRate <= 0 {
+		return false
+	}
+	sector := off / badSectorSize
+	h := mix(mix(uint64(i.cfg.Seed)^0xbad5ec7042) + mix(uint64(ino))*31 + uint64(sector))
+	if unit(h) >= i.cfg.BadSectorRate {
+		return false
+	}
+	i.injected[HostBadSector].Add(1)
+	if t := i.tracer.Load(); t.Enabled() {
+		t.Record(trace.Event{
+			GPU: -1, Op: trace.OpFault, Path: HostBadSector.String(),
+			Offset: off, Start: now, End: now,
+		})
+	}
+	return true
+}
+
+// Injected reports how many times site s fired. Safe on nil.
+func (i *Injector) Injected(s Site) int64 {
+	if i == nil {
+		return 0
+	}
+	return i.injected[s].Load()
+}
+
+// TotalInjected reports the total fault count across all sites. Safe on
+// nil.
+func (i *Injector) TotalInjected() int64 {
+	if i == nil {
+		return 0
+	}
+	var n int64
+	for s := range i.injected {
+		n += i.injected[s].Load()
+	}
+	return n
+}
+
+// FormatCounts renders the per-site injection counters (diagnostics).
+func (i *Injector) FormatCounts() string {
+	if i == nil {
+		return "(no injector)"
+	}
+	var b strings.Builder
+	for s := Site(0); s < numSites; s++ {
+		if n := i.injected[s].Load(); n > 0 {
+			fmt.Fprintf(&b, "%s=%d ", s, n)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no faults injected)"
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"gpufs/internal/disk"
+	"gpufs/internal/faults"
 	"gpufs/internal/simtime"
 )
 
@@ -61,9 +62,17 @@ var (
 	ErrInvalid    = errors.New("hostfs: invalid argument")
 	ErrNotEmpty   = errors.New("hostfs: directory not empty")
 	ErrNameTooBig = errors.New("hostfs: path component too long")
+	// ErrIO is the EIO class: a media or device error. Never retried
+	// successfully by the RPC layer — it is a valid (failed) reply, not a
+	// lost one.
+	ErrIO = errors.New("hostfs: input/output error (EIO)")
 )
 
 const maxNameLen = 255
+
+// sectorSize is the granularity of persistent (bad-sector) read failures;
+// it matches the injector's hashing granularity.
+const sectorSize = 4096
 
 // FileInfo describes a file, as returned by Stat and Fstat.
 type FileInfo struct {
@@ -107,6 +116,10 @@ type FS struct {
 	// isolate the "CPU file I/O excluded" cost component.
 	timingFree atomic.Bool
 
+	// inj injects host-side I/O faults (EIO, short reads, bad sectors,
+	// fsync failures); nil means no injection.
+	inj atomic.Pointer[faults.Injector]
+
 	mu      sync.Mutex
 	root    *inode
 	nextIno int64
@@ -115,6 +128,13 @@ type FS struct {
 
 // SetTimingFree toggles zero-cost mode (see the field comment).
 func (fs *FS) SetTimingFree(on bool) { fs.timingFree.Store(on) }
+
+// SetFaultInjector installs (or, with nil, removes) the fault injector for
+// host I/O and propagates it to the backing disk's latency model.
+func (fs *FS) SetFaultInjector(inj *faults.Injector) {
+	fs.inj.Store(inj)
+	fs.disk.SetFaultInjector(inj)
+}
 
 // chargeSyscall advances the clock by the syscall overhead unless timing is
 // disabled.
@@ -533,6 +553,21 @@ func (f *File) Pread(c *simtime.Clock, p []byte, off int64) (int, error) {
 	size := n.size()
 	n.mu.Unlock()
 
+	if inj := f.fs.inj.Load(); inj.Enabled() {
+		if inj.Should(faults.HostReadEIO, c.Now()) {
+			return 0, fmt.Errorf("%w: read %q at %d", ErrIO, f.name, off)
+		}
+		for so := off - off%sectorSize; so < off+int64(cnt); so += sectorSize {
+			if inj.BadSector(n.ino, so, c.Now()) {
+				return 0, fmt.Errorf("%w: %q sector at %d unreadable", ErrIO, f.name, so)
+			}
+		}
+		if cnt > 1 && inj.Should(faults.HostShortRead, c.Now()) {
+			// Short read: at least 1 byte, strictly fewer than asked.
+			cnt = 1 + int(inj.Fraction(faults.HostShortRead)*float64(cnt-1))
+		}
+	}
+
 	// Timing: bring missing units in from disk, then copy over the memory
 	// bus.
 	if !f.fs.timingFree.Load() {
@@ -554,6 +589,10 @@ func (f *File) Pwrite(c *simtime.Clock, p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("%w: negative offset %d", ErrInvalid, off)
 	}
 	f.fs.chargeSyscall(c)
+
+	if inj := f.fs.inj.Load(); inj.Should(faults.HostWriteEIO, c.Now()) {
+		return 0, fmt.Errorf("%w: write %q at %d", ErrIO, f.name, off)
+	}
 
 	n := f.node
 	n.mu.Lock()
@@ -600,6 +639,9 @@ func (f *File) Fsync(c *simtime.Clock) error {
 		return err
 	}
 	f.fs.chargeSyscall(c)
+	if inj := f.fs.inj.Load(); inj.Should(faults.HostFsyncEIO, c.Now()) {
+		return fmt.Errorf("%w: fsync %q", ErrIO, f.name)
+	}
 	if !f.fs.timingFree.Load() {
 		end := f.fs.cache.sync(c.Now(), f.node.ino)
 		c.AdvanceTo(end)
@@ -687,9 +729,16 @@ func (fs *FS) ReadFile(c *simtime.Clock, p string) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, info.Size)
-	n, err := f.Pread(c, buf, 0)
-	if err != nil {
-		return nil, err
+	total := 0
+	for total < len(buf) {
+		n, err := f.Pread(c, buf[total:], int64(total))
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break // EOF
+		}
+		total += n
 	}
-	return buf[:n], nil
+	return buf[:total], nil
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"gpufs/internal/faults"
 	"gpufs/internal/simtime"
 )
 
@@ -40,7 +41,14 @@ type Bus struct {
 	membus  *simtime.Resource
 	exclude atomic.Bool
 	links   []*Link
+
+	// inj injects DMA stalls and bandwidth degradation; nil means none.
+	inj atomic.Pointer[faults.Injector]
 }
+
+// SetFaultInjector installs (or, with nil, removes) the bus's fault
+// injector; it governs every link.
+func (b *Bus) SetFaultInjector(inj *faults.Injector) { b.inj.Store(inj) }
 
 // New creates a bus whose staging copies contend on the given host memory
 // bus resource (shared with hostfs page-cache copies). membus may be nil,
@@ -131,13 +139,29 @@ func (l *Link) Charge(now simtime.Time, dir Direction, n int64) simtime.Time {
 		return now
 	}
 
+	inj := l.bus.inj.Load()
+	if inj.Should(faults.DMAStall, now) {
+		// The DMA engine stalls before starting the transfer (descriptor
+		// fetch delay, engine contention).
+		now = now.Add(inj.Delay(faults.DMAStall))
+	}
+
 	// Staging pass through pinned host memory.
 	start := now
 	if l.bus.membus != nil {
 		_, start = l.bus.membus.Acquire(now, simtime.TransferTime(n, l.bus.cfg.HostMemBandwidth))
 	}
 	// Bus transfer.
-	cost := l.bus.cfg.DMALatency + simtime.TransferTime(n, l.bus.cfg.Bandwidth)
+	bw := l.bus.cfg.Bandwidth
+	if inj.Should(faults.DMADegrade, start) {
+		// Link retraining / replay storms degrade effective bandwidth for
+		// this transfer.
+		bw = simtime.Rate(float64(bw) * inj.DegradeFactor())
+		if bw < 1 {
+			bw = 1
+		}
+	}
+	cost := l.bus.cfg.DMALatency + simtime.TransferTime(n, bw)
 	var end simtime.Time
 	if dir == HostToDevice {
 		_, end = l.h2d.Acquire(start, cost)

@@ -15,16 +15,39 @@
 // subsequent request handling — exactly the paper's design. Bulk data never
 // travels through the ring; the CPU DMAs it directly to or from the GPU
 // buffer-cache pages whose device pointers the GPU supplied.
+//
+// # Failure handling
+//
+// With a fault injector installed (internal/faults), the protocol grows the
+// robustness a production daemon needs:
+//
+//   - Per-request timeouts in virtual time: a block spinning on a response
+//     slot gives up Timeout after the request was sent and re-enqueues.
+//   - Bounded exponential backoff between attempts, with a MaxAttempts
+//     retry budget; only transient failures (EAGAIN, lost responses) are
+//     retried — real I/O errors are returned immediately.
+//   - Idempotent re-execution: every logical request carries a sequence
+//     number assigned once and reused across retries. The server keeps a
+//     per-ring dedup table keyed by sequence number; a retry of a request
+//     whose response was lost is answered from the table without
+//     re-applying the operation, so non-idempotent requests (open with
+//     O_TRUNC, close, pwrite) are applied exactly once.
+//
+// With no injector the happy path is byte-identical to the fault-free
+// protocol: one atomic pointer load per request.
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"gpufs/internal/faults"
 	"gpufs/internal/hostfs"
 	"gpufs/internal/pcie"
 	"gpufs/internal/simtime"
+	"gpufs/internal/trace"
 	"gpufs/internal/wrapfs"
 )
 
@@ -56,7 +79,21 @@ func (o Op) String() string {
 	return fmt.Sprintf("Op(%d)", int(o))
 }
 
-// Config parameterizes the RPC timing model.
+// Errors introduced by the failure model.
+var (
+	// ErrAgain is the transient, retryable failure the daemon returns
+	// when overloaded (injected); clients back off and retry it.
+	ErrAgain = errors.New("rpc: resource temporarily unavailable (EAGAIN)")
+	// ErrTimeout is returned when a request exhausts its retry budget
+	// without observing a response.
+	ErrTimeout = errors.New("rpc: request timed out")
+)
+
+// Retryable reports whether err is a transient failure worth retrying.
+// Real I/O errors (EIO and friends) are not.
+func Retryable(err error) bool { return errors.Is(err, ErrAgain) }
+
+// Config parameterizes the RPC timing model and retry policy.
 type Config struct {
 	// PollInterval is the mean delay before the polling CPU daemon
 	// notices a newly enqueued request.
@@ -66,6 +103,19 @@ type Config struct {
 	// ReturnLatency is the delay before the spinning GPU block observes
 	// the response in write-shared memory.
 	ReturnLatency simtime.Duration
+
+	// Timeout is how long (virtual) a block spins on its response slot
+	// before declaring the response lost and retrying. Zero selects the
+	// default (2ms).
+	Timeout simtime.Duration
+	// RetryBase and RetryMax bound the exponential backoff between
+	// attempts: base<<(attempt-1), capped at max. Zeros select defaults
+	// (20µs base, 1ms cap).
+	RetryBase simtime.Duration
+	RetryMax  simtime.Duration
+	// MaxAttempts is the per-request retry budget, counting the first
+	// attempt. Zero selects the default (8).
+	MaxAttempts int
 }
 
 // Server is the CPU-side GPUfs daemon: a user-level thread in the host
@@ -76,6 +126,8 @@ type Server struct {
 	layer  *wrapfs.Layer
 	daemon *simtime.Resource
 
+	inj atomic.Pointer[faults.Injector]
+
 	mu     sync.Mutex
 	fds    map[int64]*hostfs.File
 	nextFd int64
@@ -85,6 +137,18 @@ type Server struct {
 
 // NewServer creates the host daemon over the given consistency layer.
 func NewServer(cfg Config, layer *wrapfs.Layer) *Server {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * simtime.Millisecond
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 20 * simtime.Microsecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = simtime.Millisecond
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
 	return &Server{
 		cfg:    cfg,
 		layer:  layer,
@@ -94,10 +158,15 @@ func NewServer(cfg Config, layer *wrapfs.Layer) *Server {
 	}
 }
 
+// SetFaultInjector installs (or, with nil, removes) the fault injector
+// governing this daemon's request handling.
+func (s *Server) SetFaultInjector(inj *faults.Injector) { s.inj.Store(inj) }
+
 // Layer returns the consistency layer the server manages.
 func (s *Server) Layer() *wrapfs.Layer { return s.layer }
 
-// Requests reports how many requests of the given op have been served.
+// Requests reports how many requests of the given op have been served
+// (each retry attempt is a separate ring transaction and counts).
 func (s *Server) Requests(op Op) int64 { return s.reqCount[op].Load() }
 
 // TotalRequests reports the total request count across all ops.
@@ -115,6 +184,22 @@ func (s *Server) ResetTime() { s.daemon.Reset() }
 // DaemonBusy reports the daemon thread's accumulated busy time.
 func (s *Server) DaemonBusy() simtime.Duration { return s.daemon.Busy() }
 
+// dedupSlots is the server-side dedup table size per client ring. Sequence
+// numbers index it modulo the size; a slot is only consulted by retries of
+// the exact sequence number it holds, and concurrent in-flight requests per
+// ring are far fewer than the slot count, so collisions cannot alias.
+const dedupSlots = 256
+
+// dedupEntry caches the outcome of an applied request so a retry whose
+// response was lost re-delivers the reply instead of re-applying the
+// operation. The reply payload itself lives in the caller's captured
+// result variables, which the first execution already filled.
+type dedupEntry struct {
+	seq     uint64
+	applied bool
+	err     error
+}
+
 // Client is a GPU's endpoint: the request ring plus the device's DMA link.
 type Client struct {
 	srv   *Server
@@ -123,6 +208,14 @@ type Client struct {
 
 	inflight atomic.Int64
 	maxDepth atomic.Int64
+
+	// seq numbers logical requests; retries reuse the number.
+	seq      atomic.Uint64
+	retries  atomic.Int64
+	timeouts atomic.Int64
+
+	dedupMu sync.Mutex
+	dedup   [dedupSlots]dedupEntry
 }
 
 // NewClient creates the RPC endpoint for one GPU.
@@ -140,11 +233,22 @@ func (c *Client) Link() *pcie.Link { return c.link }
 // requests observed on this client's ring.
 func (c *Client) MaxQueueDepth() int64 { return c.maxDepth.Load() }
 
+// Retries reports how many retry attempts this client has issued.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Timeouts reports how many response timeouts this client has observed.
+func (c *Client) Timeouts() int64 { return c.timeouts.Load() }
+
 // begin models enqueue + poll + dispatch: the request sent at the block's
 // current time is noticed by the daemon after the poll interval, then waits
 // for the single daemon thread. It returns the daemon-side clock positioned
 // at the start of request handling.
 func (c *Client) begin(blk *simtime.Clock, op Op) *simtime.Clock {
+	return c.beginDelayed(blk, op, 0)
+}
+
+// beginDelayed is begin with an extra (injected) poll delay.
+func (c *Client) beginDelayed(blk *simtime.Clock, op Op, extra simtime.Duration) *simtime.Clock {
 	c.srv.reqCount[op].Add(1)
 	d := c.inflight.Add(1)
 	for {
@@ -153,7 +257,7 @@ func (c *Client) begin(blk *simtime.Clock, op Op) *simtime.Clock {
 			break
 		}
 	}
-	arrive := blk.Now().Add(c.srv.cfg.PollInterval)
+	arrive := blk.Now().Add(c.srv.cfg.PollInterval + extra)
 	_, end := c.srv.daemon.Acquire(arrive, c.srv.cfg.HandleCost)
 	return simtime.NewClock(end)
 }
@@ -171,27 +275,144 @@ func (c *Client) finish(blk, cclk *simtime.Clock, handleEnd simtime.Time, done s
 	blk.AdvanceTo(done.Add(c.srv.cfg.ReturnLatency))
 }
 
+// dedupLookup consults the client ring's dedup table for seq.
+func (c *Client) dedupLookup(seq uint64) (hit bool, err error) {
+	c.dedupMu.Lock()
+	e := &c.dedup[seq%dedupSlots]
+	hit, err = e.applied && e.seq == seq, e.err
+	c.dedupMu.Unlock()
+	return hit, err
+}
+
+// dedupStore records that seq was applied with the given outcome.
+func (c *Client) dedupStore(seq uint64, err error) {
+	c.dedupMu.Lock()
+	c.dedup[seq%dedupSlots] = dedupEntry{seq: seq, applied: true, err: err}
+	c.dedupMu.Unlock()
+}
+
+// invoke runs one logical request. handler performs the server-side work on
+// the daemon's clock and returns the completion time of any asynchronous
+// DMA plus the operation's error; its result values land in variables the
+// caller captured. With no (enabled) fault injector the fast path is the
+// plain one-attempt exchange; otherwise the retry protocol of the package
+// comment applies.
+func (c *Client) invoke(blk *simtime.Clock, op Op, handler func(cclk *simtime.Clock) (simtime.Time, error)) error {
+	inj := c.srv.inj.Load()
+	if !inj.Enabled() {
+		cclk := c.begin(blk, op)
+		handleEnd := cclk.Now()
+		done, err := handler(cclk)
+		c.finish(blk, cclk, handleEnd, done)
+		return err
+	}
+	return c.invokeFaulty(blk, op, inj, handler)
+}
+
+// invokeFaulty is invoke's slow path: timeouts, backoff, and dedup under
+// fault injection.
+func (c *Client) invokeFaulty(blk *simtime.Clock, op Op, inj *faults.Injector,
+	handler func(cclk *simtime.Clock) (simtime.Time, error)) error {
+
+	seq := c.seq.Add(1)
+	cfg := &c.srv.cfg
+	var lastErr error
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			// Bounded exponential backoff in virtual time before
+			// re-enqueuing.
+			d := cfg.RetryBase << uint(attempt-1)
+			if d <= 0 || d > cfg.RetryMax {
+				d = cfg.RetryMax
+			}
+			blk.Advance(d)
+			inj.RecordEvent(trace.Event{
+				GPU: c.gpuID, Op: trace.OpRetry, Path: op.String(),
+				Start: blk.Now(), End: blk.Now(),
+			})
+		}
+		sent := blk.Now()
+
+		// Injected slow poll: the daemon notices the request late.
+		var extra simtime.Duration
+		if inj.Should(faults.RPCPollDelay, sent) {
+			extra = inj.Delay(faults.RPCPollDelay)
+		}
+		cclk := c.beginDelayed(blk, op, extra)
+		handleEnd := cclk.Now()
+
+		if inj.Should(faults.RPCTransient, cclk.Now()) {
+			// EAGAIN: the daemon bounces the request before touching
+			// the dedup table or the file system — nothing applied.
+			c.finish(blk, cclk, handleEnd, 0)
+			lastErr = ErrAgain
+			continue
+		}
+
+		var done simtime.Time
+		var err error
+		if hit, cachedErr := c.dedupLookup(seq); hit {
+			// A previous attempt applied this request but its
+			// response was lost; re-deliver the cached reply without
+			// re-executing (exactly-once application).
+			err = cachedErr
+		} else {
+			done, err = handler(cclk)
+			c.dedupStore(seq, err)
+		}
+
+		if inj.Should(faults.RPCDropResponse, cclk.Now()) {
+			// The work is done but the response never reaches the
+			// spinning block: the daemon is still charged, the block
+			// spins until its timeout, then retries.
+			c.inflight.Add(-1)
+			c.srv.daemon.Occupy(handleEnd, cclk.Now())
+			c.timeouts.Add(1)
+			blk.AdvanceTo(sent.Add(cfg.Timeout))
+			lastErr = fmt.Errorf("%w: %s seq %d", ErrTimeout, op, seq)
+			continue
+		}
+		if inj.Should(faults.RPCDupResponse, cclk.Now()) {
+			// The response is delivered twice; the block consumed the
+			// first copy, and the duplicate — arriving for a sequence
+			// number already completed — is discarded on arrival.
+			// Counted by the injector; no semantic effect, which is
+			// the point.
+			_ = seq
+		}
+		c.finish(blk, cclk, handleEnd, done)
+		return err
+	}
+	return fmt.Errorf("%w: %s gave up after %d attempts: %v", ErrTimeout, op, cfg.MaxAttempts, lastErr)
+}
+
 // Open opens the host file and returns a server-side descriptor handle and
 // the file's metadata (size is captured at open time, per gfstat semantics).
 func (c *Client) Open(blk *simtime.Clock, path string, flags int, mode hostfs.Mode) (int64, hostfs.FileInfo, error) {
-	cclk := c.begin(blk, OpOpen)
-	handleEnd := cclk.Now()
-	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
-
-	f, err := c.srv.layer.FS().Open(cclk, path, flags, mode)
+	var fd int64 = -1
+	var info hostfs.FileInfo
+	err := c.invoke(blk, OpOpen, func(cclk *simtime.Clock) (simtime.Time, error) {
+		f, err := c.srv.layer.FS().Open(cclk, path, flags, mode)
+		if err != nil {
+			return 0, err
+		}
+		fi, err := f.Fstat(cclk)
+		if err != nil {
+			f.Close()
+			return 0, err
+		}
+		c.srv.mu.Lock()
+		h := c.srv.nextFd
+		c.srv.nextFd++
+		c.srv.fds[h] = f
+		c.srv.mu.Unlock()
+		fd, info = h, fi
+		return 0, nil
+	})
 	if err != nil {
 		return -1, hostfs.FileInfo{}, err
 	}
-	info, err := f.Fstat(cclk)
-	if err != nil {
-		f.Close()
-		return -1, hostfs.FileInfo{}, err
-	}
-	c.srv.mu.Lock()
-	fd := c.srv.nextFd
-	c.srv.nextFd++
-	c.srv.fds[fd] = f
-	c.srv.mu.Unlock()
 	return fd, info, nil
 }
 
@@ -207,18 +428,38 @@ func (s *Server) file(fd int64) (*hostfs.File, error) {
 
 // Close closes a host descriptor.
 func (c *Client) Close(blk *simtime.Clock, fd int64) error {
-	cclk := c.begin(blk, OpClose)
-	handleEnd := cclk.Now()
-	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
+	return c.invoke(blk, OpClose, func(cclk *simtime.Clock) (simtime.Time, error) {
+		c.srv.mu.Lock()
+		f, ok := c.srv.fds[fd]
+		delete(c.srv.fds, fd)
+		c.srv.mu.Unlock()
+		if !ok {
+			return 0, fmt.Errorf("rpc: unknown host fd %d", fd)
+		}
+		return 0, f.Close()
+	})
+}
 
-	c.srv.mu.Lock()
-	f, ok := c.srv.fds[fd]
-	delete(c.srv.fds, fd)
-	c.srv.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("rpc: unknown host fd %d", fd)
+// readFull reads into staging at off, looping past injected short reads
+// (n == 0 is true EOF). With no injector the single pread below is already
+// full-or-EOF, so the loop never iterates and the happy-path timing is
+// untouched.
+func (c *Client) readFull(cclk *simtime.Clock, f *hostfs.File, staging []byte, off int64) (int, error) {
+	n, err := f.Pread(cclk, staging, off)
+	if err != nil || n == len(staging) || !c.srv.inj.Load().Enabled() {
+		return n, err
 	}
-	return f.Close()
+	for n < len(staging) {
+		m, err := f.Pread(cclk, staging[n:], off+int64(n))
+		if err != nil {
+			return n, err
+		}
+		if m == 0 {
+			break // true EOF
+		}
+		n += m
+	}
+	return n, nil
 }
 
 // ReadPages reads len(dst) bytes from the host file at off and DMAs them
@@ -227,23 +468,25 @@ func (c *Client) Close(blk *simtime.Clock, fd int64) error {
 // to an asynchronous DMA channel; the caller's clock advances to DMA
 // completion, while the daemon is free as soon as the read finishes.
 func (c *Client) ReadPages(blk *simtime.Clock, fd int64, off int64, dst []byte) (int, error) {
-	cclk := c.begin(blk, OpReadPages)
-	handleEnd := cclk.Now()
-	var done simtime.Time
-	defer func() { c.finish(blk, cclk, handleEnd, done) }()
-
-	f, err := c.srv.file(fd)
+	var got int
+	err := c.invoke(blk, OpReadPages, func(cclk *simtime.Clock) (simtime.Time, error) {
+		f, err := c.srv.file(fd)
+		if err != nil {
+			return 0, err
+		}
+		staging := make([]byte, len(dst)) // pinned staging buffer
+		n, err := c.readFull(cclk, f, staging, off)
+		if err != nil {
+			return 0, err
+		}
+		copy(dst[:n], staging[:n])
+		got = n
+		return c.link.Charge(cclk.Now(), pcie.HostToDevice, int64(n)), nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	staging := make([]byte, len(dst)) // pinned staging buffer
-	n, err := f.Pread(cclk, staging, off)
-	if err != nil {
-		return 0, err
-	}
-	copy(dst[:n], staging[:n])
-	done = c.link.Charge(cclk.Now(), pcie.HostToDevice, int64(n))
-	return n, nil
+	return got, nil
 }
 
 // ReadPagesAsync is ReadPages for prefetching: the request is enqueued at
@@ -251,21 +494,31 @@ func (c *Client) ReadPages(blk *simtime.Clock, fd int64, off int64, dst []byte) 
 // BLOCK DOES NOT WAIT — its clock is untouched and the returned completion
 // time says when the prefetched page becomes usable. This is the
 // buffer-cache read-ahead the paper lists among the optimizations a GPU
-// buffer cache enables (§3.3).
+// buffer cache enables (§3.3). Speculative reads are not retried: there is
+// no block waiting on the result, and a lost prefetch costs only the
+// optimization.
 func (c *Client) ReadPagesAsync(blk *simtime.Clock, fd int64, off int64, dst []byte) (int, simtime.Time, error) {
-	cclk := c.begin(blk, OpReadPages)
+	inj := c.srv.inj.Load()
+	var extra simtime.Duration
+	if inj.Enabled() && inj.Should(faults.RPCPollDelay, blk.Now()) {
+		extra = inj.Delay(faults.RPCPollDelay)
+	}
+	cclk := c.beginDelayed(blk, OpReadPages, extra)
 	handleEnd := cclk.Now()
 	defer func() {
 		c.inflight.Add(-1)
 		c.srv.daemon.Occupy(handleEnd, cclk.Now())
 	}()
 
+	if inj.Enabled() && inj.Should(faults.RPCTransient, cclk.Now()) {
+		return 0, 0, ErrAgain
+	}
 	f, err := c.srv.file(fd)
 	if err != nil {
 		return 0, 0, err
 	}
 	staging := make([]byte, len(dst))
-	n, err := f.Pread(cclk, staging, off)
+	n, err := c.readFull(cclk, f, staging, off)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -279,76 +532,85 @@ func (c *Client) ReadPagesAsync(blk *simtime.Clock, fd int64, off int64, dst []b
 // write begins (the daemon needs the bytes), so the daemon's file access is
 // ordered after the DMA.
 func (c *Client) WritePages(blk *simtime.Clock, fd int64, off int64, src []byte) (int, error) {
-	cclk := c.begin(blk, OpWritePages)
-	handleEnd := cclk.Now()
-	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
-
-	f, err := c.srv.file(fd)
+	var wrote int
+	err := c.invoke(blk, OpWritePages, func(cclk *simtime.Clock) (simtime.Time, error) {
+		f, err := c.srv.file(fd)
+		if err != nil {
+			return 0, err
+		}
+		staging := make([]byte, len(src))
+		copy(staging, src)
+		done := c.link.Charge(cclk.Now(), pcie.DeviceToHost, int64(len(src)))
+		cclk.AdvanceTo(done)
+		n, err := f.Pwrite(cclk, staging, off)
+		wrote = n
+		return 0, err
+	})
 	if err != nil {
 		return 0, err
 	}
-	staging := make([]byte, len(src))
-	copy(staging, src)
-	done := c.link.Charge(cclk.Now(), pcie.DeviceToHost, int64(len(src)))
-	cclk.AdvanceTo(done)
-	return f.Pwrite(cclk, staging, off)
+	return wrote, nil
 }
 
 // Truncate truncates the host file behind fd.
 func (c *Client) Truncate(blk *simtime.Clock, fd int64, size int64) error {
-	cclk := c.begin(blk, OpTruncate)
-	handleEnd := cclk.Now()
-	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
-
-	f, err := c.srv.file(fd)
-	if err != nil {
-		return err
-	}
-	return f.Ftruncate(cclk, size)
+	return c.invoke(blk, OpTruncate, func(cclk *simtime.Clock) (simtime.Time, error) {
+		f, err := c.srv.file(fd)
+		if err != nil {
+			return 0, err
+		}
+		return 0, f.Ftruncate(cclk, size)
+	})
 }
 
 // Unlink removes the file at path on the host.
 func (c *Client) Unlink(blk *simtime.Clock, path string) error {
-	cclk := c.begin(blk, OpUnlink)
-	handleEnd := cclk.Now()
-	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
-	return c.srv.layer.FS().Unlink(path)
+	return c.invoke(blk, OpUnlink, func(cclk *simtime.Clock) (simtime.Time, error) {
+		return 0, c.srv.layer.FS().Unlink(path)
+	})
 }
 
 // Stat returns host metadata for fd.
 func (c *Client) Stat(blk *simtime.Clock, fd int64) (hostfs.FileInfo, error) {
-	cclk := c.begin(blk, OpStat)
-	handleEnd := cclk.Now()
-	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
-
-	f, err := c.srv.file(fd)
+	var info hostfs.FileInfo
+	err := c.invoke(blk, OpStat, func(cclk *simtime.Clock) (simtime.Time, error) {
+		f, err := c.srv.file(fd)
+		if err != nil {
+			return 0, err
+		}
+		fi, err := f.Fstat(cclk)
+		info = fi
+		return 0, err
+	})
 	if err != nil {
 		return hostfs.FileInfo{}, err
 	}
-	return f.Fstat(cclk)
+	return info, nil
 }
 
 // Fsync forces the host file to stable storage (the disk), providing the
 // "equivalent to fsync on CPUs" strong flush of §3.3.
 func (c *Client) Fsync(blk *simtime.Clock, fd int64) error {
-	cclk := c.begin(blk, OpFsync)
-	handleEnd := cclk.Now()
-	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
-
-	f, err := c.srv.file(fd)
-	if err != nil {
-		return err
-	}
-	return f.Fsync(cclk)
+	return c.invoke(blk, OpFsync, func(cclk *simtime.Clock) (simtime.Time, error) {
+		f, err := c.srv.file(fd)
+		if err != nil {
+			return 0, err
+		}
+		return 0, f.Fsync(cclk)
+	})
 }
 
 // Validate asks the consistency layer whether the GPU's cached copy of ino
 // at generation gen is still current (lazy invalidation check at gopen).
+// Under fault injection a request that exhausts its retry budget reports
+// "not valid" — the conservative answer, costing only a refetch.
 func (c *Client) Validate(blk *simtime.Clock, ino, gen int64) bool {
-	cclk := c.begin(blk, OpValidate)
-	handleEnd := cclk.Now()
-	defer func() { c.finish(blk, cclk, handleEnd, 0) }()
-	return c.srv.layer.Validate(c.gpuID, ino, gen)
+	var valid bool
+	err := c.invoke(blk, OpValidate, func(cclk *simtime.Clock) (simtime.Time, error) {
+		valid = c.srv.layer.Validate(c.gpuID, ino, gen)
+		return 0, nil
+	})
+	return err == nil && valid
 }
 
 // PeekValid checks the GPU's cached copy of ino against the host through

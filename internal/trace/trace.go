@@ -35,13 +35,19 @@ const (
 	OpFstat
 	OpFtruncate
 	OpEvict
+	// OpFault marks an injected fault (internal/faults); Path names the
+	// injection site.
+	OpFault
+	// OpRetry marks an RPC retry attempt after a timeout or transient
+	// failure; Path names the retried operation.
+	OpRetry
 	numOps
 )
 
 var opNames = [numOps]string{
 	"gopen", "gclose", "gread", "gwrite", "gfsync",
 	"gmmap", "gmunmap", "gmsync", "gunlink", "gfstat", "gftruncate",
-	"evict",
+	"evict", "fault", "retry",
 }
 
 // String names the operation as the paper does (gopen, gread, ...).
