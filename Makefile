@@ -8,10 +8,13 @@
 #                budget, not a soak. Extend -fuzztime for real hunts.
 #   stress     — the fault-injection oracle at full depth (500 seeds),
 #                race-enabled, on its own for quick iteration.
+#   soak       — the serving-layer soak (internal/serve): 1,000+ jobs from
+#                8 tenants over 2 GPUs, race-enabled, fixed seeds; also
+#                the fault and GPU-restart variants.
 
 GO ?= go
 
-.PHONY: tier1 tier2 fuzz-smoke stress bench
+.PHONY: tier1 tier2 fuzz-smoke stress bench soak
 
 tier1:
 	$(GO) build ./...
@@ -26,6 +29,9 @@ fuzz-smoke:
 
 stress:
 	$(GO) test -race -count=1 -run TestFaultStressOracle ./internal/core
+
+soak:
+	$(GO) test -race -count=1 -run 'TestServeSoak' ./internal/serve
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -21,9 +21,15 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0/32, "uniform scale factor for capacities and input sizes")
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, ablation")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, ablation, serve")
 	reps := flag.Int("reps", 3, "runs averaged per measured cell (the paper averages 5)")
 	flag.Parse()
+	if *scale <= 0 {
+		usageError("-scale must be > 0, got %g", *scale)
+	}
+	if *reps < 1 {
+		usageError("-reps must be >= 1, got %d", *reps)
+	}
 	bench.SetReps(*reps)
 
 	runners := map[string]func(float64) (*bench.Table, error){
@@ -36,6 +42,7 @@ func main() {
 		"table3":   bench.Table3,
 		"table4":   bench.Table4,
 		"ablation": bench.Ablation,
+		"serve":    bench.Serve,
 	}
 
 	fmt.Printf("GPUfs reproduction benchmarks (scale %g; virtual-time results)\n\n", *scale)
@@ -68,4 +75,10 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gpufs-bench:", err)
 	os.Exit(1)
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gpufs-bench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,201 @@
+// Command gpufs-serve soaks the multi-tenant serving frontend
+// (internal/serve) with a closed-loop workload: N tenants each keep M
+// jobs outstanding against a simulated multi-GPU machine, and the run
+// reports virtual-time throughput, latency percentiles, batching factor,
+// and cache-affinity hit rates.
+//
+// Usage:
+//
+//	gpufs-serve [-tenants 8] [-outstanding 8] [-jobs 125] [-gpus 2]
+//	            [-files 16] [-batch 16] [-policy affinity|rr]
+//	            [-scale 0.00390625] [-seed 1] [-faults]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+
+	"gpufs"
+	"gpufs/internal/serve"
+	"gpufs/internal/workloads"
+)
+
+func main() {
+	tenants := flag.Int("tenants", 8, "number of concurrent tenants")
+	outstanding := flag.Int("outstanding", 8, "closed-loop jobs in flight per tenant")
+	jobs := flag.Int("jobs", 125, "jobs per tenant")
+	gpus := flag.Int("gpus", 2, "GPUs in the simulated machine")
+	files := flag.Int("files", 16, "corpus files")
+	batch := flag.Int("batch", 16, "max jobs coalesced per kernel launch")
+	policy := flag.String("policy", "affinity", "placement policy: affinity or rr")
+	scale := flag.Float64("scale", 1.0/256, "uniform scale factor for capacities")
+	seed := flag.Int64("seed", 1, "workload seed")
+	faults := flag.Bool("faults", false, "inject the standard RPC/host fault mix")
+	flag.Parse()
+
+	switch {
+	case *tenants < 1:
+		usageError("-tenants must be >= 1, got %d", *tenants)
+	case *outstanding < 1:
+		usageError("-outstanding must be >= 1, got %d", *outstanding)
+	case *jobs < 1:
+		usageError("-jobs must be >= 1, got %d", *jobs)
+	case *gpus < 1:
+		usageError("-gpus must be >= 1, got %d", *gpus)
+	case *files < 1:
+		usageError("-files must be >= 1, got %d", *files)
+	case *batch < 1:
+		usageError("-batch must be >= 1, got %d", *batch)
+	case *scale <= 0:
+		usageError("-scale must be > 0, got %g", *scale)
+	}
+	var pol serve.Policy
+	switch *policy {
+	case "affinity":
+		pol = serve.PlaceAffinity
+	case "rr":
+		pol = serve.PlaceRoundRobin
+	default:
+		usageError("-policy must be affinity or rr, got %q", *policy)
+	}
+
+	cfg := gpufs.ScaledConfig(*scale)
+	cfg.NumGPUs = *gpus
+	sys, err := gpufs.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	dict := workloads.MakeDictionary(300)
+	paths := make([]string, *files)
+	words := make([]string, 8)
+	for i := range words {
+		words[i] = workloads.MakeWord(i * 13)
+	}
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/serve/f%03d.txt", i)
+		text := workloads.MakeText(8<<10, workloads.TextSpec{
+			Dict: dict, DictFraction: 0.8, Seed: *seed*1000 + int64(i),
+		})
+		if err := sys.WriteHostFile(paths[i], text); err != nil {
+			fatal(err)
+		}
+	}
+	if *faults {
+		sys.EnableFaults(gpufs.FaultConfig{
+			Seed:                *seed,
+			RPCPollDelayProb:    0.05,
+			RPCDropResponseProb: 0.02,
+			RPCTransientProb:    0.05,
+			HostShortReadProb:   0.05,
+			HostReadEIOProb:     0.02,
+			DiskStallProb:       0.05,
+			DMAStallProb:        0.05,
+		})
+	}
+
+	srv := serve.New(sys, serve.Config{
+		QueueDepth: *outstanding,
+		MaxBatch:   *batch,
+		Policy:     pol,
+	})
+
+	total := *tenants * *jobs
+	fmt.Printf("gpufs-serve: %d tenants × %d jobs (%d outstanding each) over %d GPU(s), policy %v, batch %d, faults %v\n",
+		*tenants, *jobs, *outstanding, *gpus, pol, *batch, *faults)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures int
+	for ti := 0; ti < *tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tenant-%d", ti)
+			rng := rand.New(rand.NewSource(*seed*100 + int64(ti)))
+			sem := make(chan struct{}, *outstanding)
+			var inner sync.WaitGroup
+			for ji := 0; ji < *jobs; ji++ {
+				sem <- struct{}{}
+				spec := randomJob(rng, paths, words)
+				var fut *serve.Future
+				for {
+					var err error
+					fut, err = srv.Submit(name, spec)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, serve.ErrOverloaded) {
+						fatal(err)
+					}
+					runtime.Gosched()
+				}
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					if res := fut.Wait(); res.Err != nil {
+						mu.Lock()
+						failures++
+						mu.Unlock()
+					}
+					<-sem
+				}()
+			}
+			inner.Wait()
+		}(ti)
+	}
+	wg.Wait()
+	srv.Drain()
+
+	st := srv.Stats()
+	fmt.Println()
+	fmt.Print(st)
+	if secs := st.Now.Seconds(); secs > 0 {
+		fmt.Printf("throughput: %.0f jobs/s virtual (%d jobs in %.3fs)\n",
+			float64(total)/secs, total, secs)
+	}
+	if failures > 0 {
+		fmt.Printf("%d job(s) failed with explicit errors\n", failures)
+	}
+}
+
+func randomJob(rng *rand.Rand, paths, words []string) serve.Job {
+	var pi int
+	if rng.Intn(100) < 70 {
+		pi = rng.Intn(minInt(4, len(paths))) // skewed hot set
+	} else {
+		pi = rng.Intn(len(paths))
+	}
+	w := words[rng.Intn(len(words))]
+	switch rng.Intn(3) {
+	case 0:
+		return serve.Job{Kind: serve.JobGrep, Path: paths[pi], Word: w}
+	case 1:
+		return serve.Job{Kind: serve.JobSearch, Path: paths[pi], Word: w}
+	default:
+		return serve.Job{Kind: serve.JobTransform, Path: paths[pi], MaxOutput: 256}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gpufs-serve: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpufs-serve:", err)
+	os.Exit(1)
+}

@@ -3,15 +3,19 @@
 // summary — a quick way to see where a kernel's virtual time goes (RPC
 // round trips, buffer-cache hits, paging).
 //
+// With -json FILE the full timeline is also written in Chrome's
+// trace_event format, loadable in chrome://tracing or Perfetto.
+//
 // Usage:
 //
-//	gpufs-trace [-n 40] [-blocks 8] [-mb 4]
+//	gpufs-trace [-n 40] [-blocks 8] [-mb 4] [-json FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"gpufs"
 )
@@ -20,7 +24,17 @@ func main() {
 	n := flag.Int("n", 40, "number of events to print (0 = none, just the summary)")
 	blocks := flag.Int("blocks", 8, "threadblocks")
 	mb := flag.Int64("mb", 4, "working set in MiB")
+	jsonPath := flag.String("json", "", "write the timeline as Chrome trace_event JSON to this file")
 	flag.Parse()
+	if *n < 0 {
+		usageError("-n must be >= 0, got %d", *n)
+	}
+	if *blocks < 1 {
+		usageError("-blocks must be >= 1, got %d", *blocks)
+	}
+	if *mb < 1 {
+		usageError("-mb must be >= 1, got %d", *mb)
+	}
 
 	cfg := gpufs.ScaledConfig(1.0 / 32)
 	// A deliberately small buffer cache so the trace shows paging too.
@@ -77,6 +91,27 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Print(tr.FormatSummary())
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d events to %s (chrome://tracing)\n", len(events), *jsonPath)
+	}
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gpufs-trace: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func min(a, b int) int {

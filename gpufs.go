@@ -325,6 +325,12 @@ func (g *GPU) Restart() {
 	})
 }
 
+// ResidentPages reports how many buffer-cache pages of path this GPU
+// currently holds (open or closed-table). The serving layer
+// (internal/serve) uses it to route jobs to the GPU whose cache already
+// holds their input.
+func (g *GPU) ResidentPages(path string) int64 { return g.fs.ResidentPages(path) }
+
 // Stats returns the GPUfs instrumentation counters for this device,
 // including the host daemon's RPC totals and the machine-wide injected
 // fault count (zero unless EnableFaults was called).

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"testing"
+
+	"gpufs/internal/serve"
+)
+
+// TestServeShapes checks the serving bench's headline claims at test
+// scale: cache-affinity placement beats round-robin on buffer-cache hit
+// rate (and page faults), and continuous batching beats
+// one-launch-per-request on virtual-time throughput.
+func TestServeShapes(t *testing.T) {
+	// Much lighter than the real table — fewer tenants, jobs, and pages —
+	// but the same capacity crossover: half the corpus fits one GPU's
+	// cache, the whole corpus does not.
+	const scale = 1.0 / 256
+	sc := serveCase{
+		numGPUs:    2,
+		files:      16,
+		pagesEach:  6,  // corpus: 96 pages
+		cachePages: 60, // half corpus (48) fits, whole corpus does not
+		tenants:    4,
+		jobsEach:   24,
+		depth:      8,
+	}
+
+	affinity, err := runServe(scale, sc, serve.PlaceAffinity, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := runServe(scale, sc, serve.PlaceRoundRobin, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := runServe(scale, sc, serve.PlaceAffinity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if affinity.hitRate <= rr.hitRate {
+		t.Errorf("affinity hit rate %.2f not above round-robin %.2f",
+			affinity.hitRate, rr.hitRate)
+	}
+	if affinity.pageFaults >= rr.pageFaults {
+		t.Errorf("affinity page faults %d not below round-robin %d",
+			affinity.pageFaults, rr.pageFaults)
+	}
+	if affinity.throughput <= serial.throughput {
+		t.Errorf("batched throughput %.0f not above one-launch-per-request %.0f",
+			affinity.throughput, serial.throughput)
+	}
+	if serial.batchMean != 1.0 {
+		t.Errorf("batch-1 run averaged %.2f jobs/launch, want exactly 1", serial.batchMean)
+	}
+	if affinity.batchMean <= 1.5 {
+		t.Errorf("batch-16 run averaged %.2f jobs/launch: batching never engaged", affinity.batchMean)
+	}
+}

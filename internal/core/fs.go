@@ -592,6 +592,27 @@ func (fs *FS) discardCache(b *gpu.Block, fc *fileCache) {
 	fs.client.Forget(fc.ino)
 }
 
+// ResidentPages reports how many buffer-cache pages of path are resident
+// on this GPU, whether the file is currently open or retired to the closed
+// file table. A serving layer uses it as its cache-affinity signal: a job
+// over a file with resident pages is cheaper to run here than anywhere
+// else.
+func (fs *FS) ResidentPages(path string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fd, ok := fs.byPath[path]; ok {
+		if f := fs.fds[fd]; f != nil && f.fc != nil {
+			return f.fc.frames.Load()
+		}
+	}
+	if ino, ok := fs.closedByPath[path]; ok {
+		if fc := fs.closed[ino]; fc != nil {
+			return fc.frames.Load()
+		}
+	}
+	return 0
+}
+
 // Stats aggregates instrumentation across live and retired file caches.
 type Stats struct {
 	// LockFreeAccesses and LockedAccesses count radix-tree lookups by

@@ -1,0 +1,57 @@
+package serve
+
+import "hash/fnv"
+
+// routeLocked picks the GPU queue for a freshly admitted job.
+//
+// Under PlaceAffinity the job goes to the GPU whose buffer cache holds
+// the most pages of its file; a file no GPU holds goes to its stable
+// hash home, so repeated jobs over the same cold file all warm the SAME
+// device and affinity emerges. When the chosen queue is saturated
+// (≥ StealThreshold) the job spills to the least-loaded GPU instead —
+// cache locality is a preference, not a bottleneck.
+//
+// Under PlaceRoundRobin jobs rotate across GPUs in admission order.
+func (s *Server) routeLocked(j *job) int {
+	n := len(s.queues)
+	if n == 1 {
+		return 0
+	}
+	if s.cfg.Policy == PlaceRoundRobin {
+		g := s.rr % n
+		s.rr++
+		return g
+	}
+
+	best, bestPages := -1, int64(0)
+	for g := 0; g < n; g++ {
+		if p := s.sys.GPU(g).ResidentPages(j.spec.Path); p > bestPages {
+			best, bestPages = g, p
+		}
+	}
+	if best < 0 {
+		best = pathHome(j.spec.Path, n)
+	}
+	if s.queues[best].size+s.inflight[best] >= s.cfg.StealThreshold {
+		spill := best
+		load := s.queues[best].size + s.inflight[best]
+		for g := 0; g < n; g++ {
+			if l := s.queues[g].size + s.inflight[g]; l < load {
+				spill, load = g, l
+			}
+		}
+		if spill != best {
+			s.gstats[best].Spilled++
+			best = spill
+		}
+	}
+	return best
+}
+
+// pathHome is the stable cold-file partition: a path always hashes to the
+// same GPU, independent of submission order or server state.
+func pathHome(path string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(path))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,490 @@
+// Package serve is a multi-tenant GPU file-service frontend over
+// gpufs.System: the layer that turns many concurrent client requests into
+// few, well-batched kernel launches — the shape of an inference-serving
+// stack, applied to the paper's self-contained GPU file applications (§5).
+//
+// The pipeline is queues → batcher → placement → launch:
+//
+//   - Admission. Submit(tenant, job) admits a job only while the tenant
+//     has fewer than QueueDepth jobs in the system; beyond that it rejects
+//     with an OverloadError carrying a virtual-time retry-after hint.
+//     Memory is bounded by tenants × QueueDepth, never by offered load.
+//   - Placement. Each admitted job is routed to a GPU: by cache affinity
+//     (the GPU whose buffer cache already holds pages of the job's file;
+//     cold files hash to a stable home so a partition emerges), falling
+//     back to the least-loaded GPU when the affine queue is saturated —
+//     or by round-robin, the baseline policy the bench table compares.
+//   - Continuous batching. One worker per GPU drains its queue: whenever
+//     the GPU falls idle the worker coalesces up to MaxBatch queued jobs
+//     (round-robin across tenants for fairness) into ONE kernel launch
+//     whose threadblocks stride over the jobs — not one launch per
+//     request. An idle worker with an empty queue steals work from the
+//     longest queue.
+//   - Completion. Every job completes or fails exactly once through its
+//     Future. Failed attempts retry within the job's MaxAttempts budget
+//     and virtual-time deadline (fault-injected EIO/EAGAIN survivors fail
+//     with explicit errors; nothing hangs). A device fault restarts the
+//     GPU (losing its caches, §3.3) and re-runs the interrupted batch.
+//
+// All timing is virtual (internal/simtime): each GPU worker carries a
+// virtual cursor that advances with its launches, and job latency is
+// measured from admission stamp to batch completion.
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gpufs"
+	"gpufs/internal/simtime"
+	"gpufs/internal/trace"
+	"gpufs/internal/workloads"
+)
+
+// JobKind selects the file-processing kernel a job runs.
+type JobKind uint8
+
+// Job kinds, all read-only over one host file (reusing the
+// internal/workloads matchers so results check against the same oracle).
+const (
+	// JobGrep counts whole-word occurrences of Word ([a-z] tokens), the
+	// matching rule of the paper's grep application (§5.2.2).
+	JobGrep JobKind = iota
+	// JobSearch counts raw substring occurrences of Word.
+	JobSearch
+	// JobTransform returns the uppercased prefix of the file (bounded by
+	// MaxOutput / Config.MaxOutputBytes).
+	JobTransform
+)
+
+// String names the job kind.
+func (k JobKind) String() string {
+	switch k {
+	case JobGrep:
+		return "grep"
+	case JobSearch:
+		return "search"
+	case JobTransform:
+		return "transform"
+	}
+	return fmt.Sprintf("JobKind(%d)", int(k))
+}
+
+// Job is one client request: a file-processing operation over a host file.
+type Job struct {
+	// Kind selects the kernel.
+	Kind JobKind
+	// Path is the host file the job processes.
+	Path string
+	// Word is the needle for JobGrep and JobSearch.
+	Word string
+	// MaxOutput caps JobTransform's returned bytes; 0 uses the server's
+	// MaxOutputBytes.
+	MaxOutput int64
+	// Deadline is the job's virtual-time budget measured from admission;
+	// 0 uses the server's DefaultDeadline (0 = no deadline). A job whose
+	// deadline passes before or during execution fails with
+	// ErrDeadlineExceeded (wrapping the last attempt's error, if any).
+	Deadline simtime.Duration
+}
+
+// Result is a completed (or failed) job's outcome.
+type Result struct {
+	// Tenant and Job echo the submission; ID is the server-wide job id.
+	Tenant string
+	Job    Job
+	ID     uint64
+	// Count is the match count for JobGrep/JobSearch.
+	Count int64
+	// Output is JobTransform's (bounded) output.
+	Output []byte
+	// Err is the job's explicit failure, nil on success.
+	Err error
+	// GPU is the device the final attempt ran on; Batch is that launch's
+	// sequence number; Attempts counts kernel executions of this job.
+	GPU      int
+	Batch    int64
+	Attempts int
+	// Enqueued, Started, Done are the job's virtual-time admission,
+	// final-attempt launch, and completion stamps.
+	Enqueued, Started, Done simtime.Time
+	// AffinityHit reports whether the executing GPU's buffer cache held
+	// pages of the job's file when the batch was assembled.
+	AffinityHit bool
+}
+
+// Latency is the job's virtual admission-to-completion time.
+func (r Result) Latency() simtime.Duration { return r.Done.Sub(r.Enqueued) }
+
+// Future is the pending result of a submitted job.
+type Future struct{ ch chan Result }
+
+// Done returns a channel that receives the result exactly once.
+func (f *Future) Done() <-chan Result { return f.ch }
+
+// Wait blocks for the result.
+func (f *Future) Wait() Result { return <-f.ch }
+
+// Policy selects the placement layer's routing.
+type Policy uint8
+
+// Placement policies.
+const (
+	// PlaceAffinity routes jobs to the GPU whose buffer cache holds their
+	// file (stable-hash home for cold files), with least-loaded spill
+	// when the affine queue is saturated and idle-worker stealing.
+	PlaceAffinity Policy = iota
+	// PlaceRoundRobin distributes jobs across GPUs in submission order,
+	// ignoring cache residency (the baseline the bench table compares).
+	PlaceRoundRobin
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PlaceRoundRobin {
+		return "round-robin"
+	}
+	return "affinity"
+}
+
+// Config tunes the server. The zero value gets sensible defaults from New.
+type Config struct {
+	// QueueDepth bounds each tenant's jobs in the system (queued plus
+	// in-flight); Submit rejects beyond it. Default 32.
+	QueueDepth int
+	// MaxBatch is the most jobs one scheduling round coalesces into a
+	// single kernel launch. 1 degenerates to one-launch-per-request (the
+	// bench baseline). Default 16.
+	MaxBatch int
+	// ThreadsPerBlock is the launch geometry's block width. Default 256.
+	ThreadsPerBlock int
+	// MaxBlocks caps a batched launch's grid; jobs beyond it stride.
+	// Default 64.
+	MaxBlocks int
+	// Policy is the placement policy. Default PlaceAffinity.
+	Policy Policy
+	// StealThreshold is the queue length at which the affine GPU counts
+	// as saturated and new jobs spill to the least-loaded GPU. Default
+	// 4×MaxBatch.
+	StealThreshold int
+	// MaxAttempts is the per-job execution budget under failures.
+	// Default 3.
+	MaxAttempts int
+	// DefaultDeadline applies to jobs that set none; 0 means no deadline.
+	DefaultDeadline simtime.Duration
+	// ScanRate is the virtual per-GPU processing rate (bytes/s) charged
+	// for a job's scan over its file. Default 8.7 GB/s (the paper's grep
+	// rate).
+	ScanRate float64
+	// MaxOutputBytes bounds JobTransform outputs. Default 64 KiB.
+	MaxOutputBytes int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 32
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 16
+	}
+	if out.ThreadsPerBlock <= 0 {
+		out.ThreadsPerBlock = 256
+	}
+	if out.MaxBlocks <= 0 {
+		out.MaxBlocks = 64
+	}
+	if out.StealThreshold <= 0 {
+		out.StealThreshold = 4 * out.MaxBatch
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 3
+	}
+	if out.ScanRate <= 0 {
+		out.ScanRate = 8.7e9
+	}
+	if out.MaxOutputBytes <= 0 {
+		out.MaxOutputBytes = 64 << 10
+	}
+	return out
+}
+
+// Sentinel errors.
+var (
+	// ErrDraining rejects submissions after Drain began.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrOverloaded is wrapped by OverloadError on admission rejection.
+	ErrOverloaded = errors.New("serve: tenant queue full")
+	// ErrDeadlineExceeded fails a job whose virtual deadline passed.
+	ErrDeadlineExceeded = errors.New("serve: virtual deadline exceeded")
+	// ErrBadJob rejects a malformed job at submission.
+	ErrBadJob = errors.New("serve: invalid job")
+)
+
+// OverloadError is the admission-control rejection: the tenant's queue is
+// full. RetryAfter is the server's virtual-time estimate of when capacity
+// frees; a well-behaved client backs off that long before resubmitting.
+type OverloadError struct {
+	Tenant     string
+	RetryAfter simtime.Duration
+}
+
+// Error renders the rejection.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: tenant %q queue full, retry after %v", e.Tenant, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) true.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// job is the server-internal state of one submitted request.
+type job struct {
+	id       uint64
+	tenant   string
+	spec     Job
+	fut      *Future
+	arrival  simtime.Time
+	deadline simtime.Time // zero = none
+	attempts int
+	lastErr  error
+
+	// Per-attempt execution scratch, written by exactly one threadblock
+	// during a launch and read by the worker after Launch returns.
+	err    error
+	count  int64
+	output []byte
+	hit    bool
+}
+
+// tenant is one client's admission-control state.
+type tenant struct {
+	open  int // jobs admitted and not yet completed
+	stats TenantStats
+}
+
+// Server is the multi-tenant serving frontend over one gpufs.System.
+type Server struct {
+	sys *gpufs.System
+	cfg Config
+	tr  *trace.Tracer
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tenants  map[string]*tenant
+	queues   []*gpuQueue // per-GPU pending jobs
+	inflight []int       // per-GPU jobs inside a running batch
+	cursors  []simtime.Time
+	gstats   []GPUStats
+	lat      []simtime.Duration
+	svcEst   simtime.Duration // EWMA of per-job service time
+	rr       int
+	batchSeq int64
+	draining bool
+	closed   bool
+
+	vnow atomic.Int64 // server virtual now: max observed batch end
+	ids  atomic.Uint64
+	wg   sync.WaitGroup
+}
+
+// New starts a server over sys with one batching worker per GPU. Enable
+// tracing on sys before calling New if serve events should be traced.
+func New(sys *gpufs.System, cfg Config) *Server {
+	s := &Server{
+		sys:     sys,
+		cfg:     cfg.withDefaults(),
+		tr:      sys.Tracer(),
+		tenants: make(map[string]*tenant),
+		svcEst:  500 * simtime.Microsecond,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	n := sys.NumGPUs()
+	s.queues = make([]*gpuQueue, n)
+	for i := range s.queues {
+		s.queues[i] = newGPUQueue()
+	}
+	s.inflight = make([]int, n)
+	s.cursors = make([]simtime.Time, n)
+	s.gstats = make([]GPUStats, n)
+	for g := 0; g < n; g++ {
+		s.wg.Add(1)
+		go s.worker(g)
+	}
+	return s
+}
+
+// Config returns the server's defaulted configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Now reports the server's virtual time: the latest batch completion
+// observed on any GPU.
+func (s *Server) Now() simtime.Time { return simtime.Time(s.vnow.Load()) }
+
+// Submit admits one job for tenant. It never blocks: the job is either
+// admitted (returning its Future) or rejected — with an OverloadError
+// carrying a retry-after hint when the tenant's queue is full, or
+// ErrDraining after Drain began.
+func (s *Server) Submit(tenantName string, spec Job) (*Future, error) {
+	if spec.Path == "" {
+		return nil, fmt.Errorf("%w: empty path", ErrBadJob)
+	}
+	if (spec.Kind == JobGrep || spec.Kind == JobSearch) && spec.Word == "" {
+		return nil, fmt.Errorf("%w: %s needs a word", ErrBadJob, spec.Kind)
+	}
+	if spec.Kind > JobTransform {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadJob, int(spec.Kind))
+	}
+
+	s.mu.Lock()
+	fut, g, err := s.enqueueLocked(tenantName, spec)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if s.tr.Enabled() {
+		s.tr.Record(trace.Event{
+			GPU: g, Op: trace.OpEnqueue, Path: spec.Path,
+			Start: simtime.Time(s.vnow.Load()), End: simtime.Time(s.vnow.Load()),
+		})
+	}
+	return fut, nil
+}
+
+// enqueueLocked is Submit's admission + placement step, callable with
+// s.mu held so several jobs can be enqueued atomically (one scheduling
+// round sees them all). It broadcasts to wake workers on success.
+func (s *Server) enqueueLocked(tenantName string, spec Job) (*Future, int, error) {
+	if s.draining || s.closed {
+		return nil, -1, ErrDraining
+	}
+	tn := s.tenants[tenantName]
+	if tn == nil {
+		tn = &tenant{}
+		s.tenants[tenantName] = tn
+	}
+	if tn.open >= s.cfg.QueueDepth {
+		tn.stats.Rejected++
+		return nil, -1, &OverloadError{Tenant: tenantName, RetryAfter: s.retryAfterLocked()}
+	}
+	tn.open++
+	tn.stats.Submitted++
+	if tn.open > tn.stats.MaxQueued {
+		tn.stats.MaxQueued = tn.open
+	}
+
+	j := &job{
+		id:      s.ids.Add(1),
+		tenant:  tenantName,
+		spec:    spec,
+		fut:     &Future{ch: make(chan Result, 1)},
+		arrival: simtime.Time(s.vnow.Load()),
+	}
+	if d := spec.Deadline; d > 0 {
+		j.deadline = j.arrival.Add(d)
+	} else if d := s.cfg.DefaultDeadline; d > 0 {
+		j.deadline = j.arrival.Add(d)
+	}
+
+	g := s.routeLocked(j)
+	s.queues[g].push(j)
+	s.gstats[g].Routed++
+	s.cond.Broadcast()
+	return j.fut, g, nil
+}
+
+// retryAfterLocked estimates the virtual time until admission capacity
+// frees: the per-job service estimate scaled by how deep the backlog is
+// relative to one scheduling round across the machine.
+func (s *Server) retryAfterLocked() simtime.Duration {
+	queued := 0
+	for _, q := range s.queues {
+		queued += q.size
+	}
+	for _, n := range s.inflight {
+		queued += n
+	}
+	round := s.cfg.MaxBatch * len(s.queues)
+	est := s.svcEst * simtime.Duration(1+queued/round)
+	if est < 100*simtime.Microsecond {
+		est = 100 * simtime.Microsecond
+	}
+	return est
+}
+
+// Drain stops admission, waits for every queued and in-flight job to
+// complete (including fault-driven retries), and shuts the workers down.
+// It is the graceful-shutdown path and is safe to call exactly once;
+// subsequent Submits fail with ErrDraining.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	for !s.idleLocked() {
+		s.cond.Wait()
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// idleLocked reports whether no work is queued or in flight anywhere.
+func (s *Server) idleLocked() bool {
+	for g := range s.queues {
+		if s.queues[g].size > 0 || s.inflight[g] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// execJob runs one job's kernel inside a threadblock: read the file
+// through the GPUfs API (hitting this GPU's buffer cache when resident),
+// charge the scan, and compute the real answer. Errors are captured into
+// the job — never returned — so one faulted job cannot abort the whole
+// batch or latch the device.
+func (s *Server) execJob(c *gpufs.BlockCtx, j *job) {
+	j.err, j.count, j.output = nil, 0, nil
+
+	fd, err := c.Gopen(j.spec.Path, gpufs.O_RDONLY)
+	if err != nil {
+		j.err = err
+		return
+	}
+	info, err := c.Gfstat(fd)
+	if err != nil {
+		c.Gclose(fd)
+		j.err = err
+		return
+	}
+	buf := make([]byte, info.Size)
+	if _, err := c.Gread(fd, buf, 0); err != nil {
+		c.Gclose(fd)
+		j.err = err
+		return
+	}
+	if err := c.Gclose(fd); err != nil {
+		j.err = err
+		return
+	}
+	c.ComputeBytes(info.Size, simtime.Rate(s.cfg.ScanRate))
+
+	switch j.spec.Kind {
+	case JobGrep:
+		j.count = int64(workloads.CountWord(buf, j.spec.Word))
+	case JobSearch:
+		j.count = int64(bytes.Count(buf, []byte(j.spec.Word)))
+	case JobTransform:
+		limit := j.spec.MaxOutput
+		if limit <= 0 || limit > s.cfg.MaxOutputBytes {
+			limit = s.cfg.MaxOutputBytes
+		}
+		if limit > info.Size {
+			limit = info.Size
+		}
+		j.output = bytes.ToUpper(buf[:limit])
+	}
+}

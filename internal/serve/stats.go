@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpufs/internal/simtime"
+)
+
+// TenantStats is one tenant's admission-control and completion counters.
+type TenantStats struct {
+	// Submitted counts admitted jobs; Rejected counts OverloadError
+	// refusals; MaxQueued is the high-water mark of jobs in the system.
+	Submitted, Rejected int64
+	MaxQueued           int
+	// Completed and Failed partition finished jobs.
+	Completed, Failed int64
+}
+
+// GPUStats is one device's serving counters.
+type GPUStats struct {
+	// Routed counts jobs the placement layer sent here; Stolen counts
+	// jobs this worker took from another GPU's queue; Spilled counts
+	// jobs routed AWAY because this (affine) queue was saturated;
+	// Requeued counts retry re-insertions.
+	Routed, Stolen, Spilled, Requeued int64
+	// Batches counts kernel launches; Launched counts jobs across them
+	// (Launched/Batches is the realized batching factor); MaxBatch is
+	// the largest single launch.
+	Batches, Launched int64
+	MaxBatch          int
+	// Completed and Failed partition jobs finalized on this device;
+	// AffinityHits counts completed jobs whose file was buffer-cache
+	// resident here at batch assembly.
+	Completed, Failed, AffinityHits int64
+	// Restarts counts fault-driven GPU.Restart recoveries.
+	Restarts int64
+}
+
+// Stats is a consistent snapshot of the server's counters.
+type Stats struct {
+	// Tenants maps tenant name to its counters.
+	Tenants map[string]TenantStats
+	// GPUs holds per-device counters, indexed by GPU id.
+	GPUs []GPUStats
+	// Queued and Inflight are the instantaneous backlog.
+	Queued, Inflight int
+	// Latencies are the virtual admission-to-completion times of all
+	// finished jobs, in completion order.
+	Latencies []simtime.Duration
+	// Now is the server's virtual time.
+	Now simtime.Time
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Tenants: make(map[string]TenantStats, len(s.tenants)),
+		GPUs:    append([]GPUStats(nil), s.gstats...),
+		Now:     simtime.Time(s.vnow.Load()),
+	}
+	for name, tn := range s.tenants {
+		st.Tenants[name] = tn.stats
+	}
+	for g, q := range s.queues {
+		st.Queued += q.size
+		st.Inflight += s.inflight[g]
+	}
+	st.Latencies = append([]simtime.Duration(nil), s.lat...)
+	return st
+}
+
+// Completed sums completed jobs across GPUs.
+func (st Stats) Completed() int64 {
+	var n int64
+	for _, g := range st.GPUs {
+		n += g.Completed
+	}
+	return n
+}
+
+// Failed sums failed jobs across GPUs.
+func (st Stats) Failed() int64 {
+	var n int64
+	for _, g := range st.GPUs {
+		n += g.Failed
+	}
+	return n
+}
+
+// AffinityHitRate is the fraction of completed jobs that found their file
+// resident in the executing GPU's buffer cache.
+func (st Stats) AffinityHitRate() float64 {
+	var hits, done int64
+	for _, g := range st.GPUs {
+		hits += g.AffinityHits
+		done += g.Completed
+	}
+	if done == 0 {
+		return 0
+	}
+	return float64(hits) / float64(done)
+}
+
+// BatchFactor is the mean jobs per kernel launch.
+func (st Stats) BatchFactor() float64 {
+	var jobs, batches int64
+	for _, g := range st.GPUs {
+		jobs += g.Launched
+		batches += g.Batches
+	}
+	if batches == 0 {
+		return 0
+	}
+	return float64(jobs) / float64(batches)
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p ≤ 100) of finished
+// jobs' virtual latencies, or 0 with no samples.
+func (st Stats) LatencyPercentile(p float64) simtime.Duration {
+	if len(st.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]simtime.Duration(nil), st.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders a human-readable report: totals, latency percentiles,
+// and per-GPU / per-tenant tables.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serve: %d completed, %d failed in %.3fs virtual (%.1f jobs/launch, %.0f%% affinity hits)\n",
+		st.Completed(), st.Failed(), st.Now.Seconds(), st.BatchFactor(), 100*st.AffinityHitRate())
+	if len(st.Latencies) > 0 {
+		fmt.Fprintf(&b, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
+			st.LatencyPercentile(50), st.LatencyPercentile(90),
+			st.LatencyPercentile(99), st.LatencyPercentile(100))
+	}
+	for g, gs := range st.GPUs {
+		fmt.Fprintf(&b, "gpu %d: %d launches / %d jobs (max batch %d), %d stolen, %d spilled, %d requeued, %d restarts\n",
+			g, gs.Batches, gs.Launched, gs.MaxBatch, gs.Stolen, gs.Spilled, gs.Requeued, gs.Restarts)
+	}
+	names := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := st.Tenants[name]
+		fmt.Fprintf(&b, "tenant %s: %d submitted, %d rejected, %d completed, %d failed (max queued %d)\n",
+			name, ts.Submitted, ts.Rejected, ts.Completed, ts.Failed, ts.MaxQueued)
+	}
+	return b.String()
+}

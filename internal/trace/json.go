@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: WriteJSON renders the retained events in the
+// Trace Event Format understood by chrome://tracing and Perfetto, so GPUfs
+// timelines — kernels, RPC retries, injected faults, and the serving
+// layer's enqueue/batch/dispatch spans — can be inspected visually.
+//
+// Mapping: one trace "process" per GPU (host-side events, which carry
+// GPU == -1, appear under a "host" process), one "thread" per threadblock,
+// timestamps and durations in microseconds of virtual time. Events with a
+// zero-length span (faults, enqueues) become instant events.
+
+// jsonEvent is one Chrome trace_event record.
+type jsonEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// jsonDoc is the JSON Object Format variant of the trace file, which
+// Perfetto and chrome://tracing both accept and which leaves room for
+// metadata.
+type jsonDoc struct {
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+// pid maps a GPU index to a trace process id. Chrome disallows negative
+// pids, so the host pseudo-process (GPU == -1) maps to 0 and device i to
+// i+1.
+func pid(gpu int) int {
+	if gpu < 0 {
+		return 0
+	}
+	return gpu + 1
+}
+
+// WriteJSON writes the retained events as Chrome trace_event JSON. The
+// snapshot is taken once; concurrent recording continues unaffected.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Snapshot()
+	doc := jsonDoc{DisplayTimeUnit: "ms", TraceEvents: make([]jsonEvent, 0, len(events)+8)}
+
+	// Process-name metadata rows so the viewer labels timelines usefully.
+	seen := make(map[int]bool)
+	name := func(gpu int) string {
+		if gpu < 0 {
+			return "host"
+		}
+		return fmt.Sprintf("gpu%d", gpu)
+	}
+	for _, e := range events {
+		if seen[e.GPU] {
+			continue
+		}
+		seen[e.GPU] = true
+		doc.TraceEvents = append(doc.TraceEvents, jsonEvent{
+			Name:  "process_name",
+			Cat:   "__metadata",
+			Phase: "M",
+			PID:   pid(e.GPU),
+			Args:  map[string]any{"name": name(e.GPU)},
+		})
+	}
+
+	for _, e := range events {
+		je := jsonEvent{
+			Name: e.Op.String(),
+			Cat:  "gpufs",
+			TS:   e.Start.Seconds() * 1e6,
+			PID:  pid(e.GPU),
+			TID:  e.Block,
+			Args: map[string]any{"seq": e.Seq},
+		}
+		if e.Path != "" {
+			je.Args["path"] = e.Path
+		}
+		if e.Bytes > 0 {
+			je.Args["offset"] = e.Offset
+			je.Args["bytes"] = e.Bytes
+		}
+		if e.Err != "" {
+			je.Args["err"] = e.Err
+		}
+		if d := e.Duration(); d > 0 {
+			je.Phase = "X"
+			dur := d.Seconds() * 1e6
+			je.Dur = &dur
+		} else {
+			je.Phase = "i"
+			je.Scope = "t" // thread-scoped instant
+		}
+		doc.TraceEvents = append(doc.TraceEvents, je)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

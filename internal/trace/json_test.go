@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gpufs/internal/simtime"
+)
+
+func TestWriteJSONShape(t *testing.T) {
+	tr := New(16)
+	tr.Enable(true)
+	tr.Record(Event{
+		GPU: 0, Block: 3, Op: OpRead, Path: "/f", Offset: 4096, Bytes: 128,
+		Start: simtime.Time(simtime.Millisecond), End: simtime.Time(3 * simtime.Millisecond),
+	})
+	tr.Record(Event{GPU: -1, Op: OpFault, Path: "disk-stall", Start: 10, End: 10})
+	tr.Record(Event{GPU: 1, Block: 0, Op: OpDispatch, Path: "batch-7",
+		Bytes: 16, Start: 0, End: simtime.Time(simtime.Microsecond)})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var meta, complete, instant int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e["dur"] == nil {
+				t.Fatalf("complete event without dur: %v", e)
+			}
+		case "i":
+			instant++
+		default:
+			t.Fatalf("unexpected phase: %v", e)
+		}
+	}
+	// Three distinct pids (host, gpu0, gpu1) -> three metadata rows.
+	if meta != 3 {
+		t.Fatalf("metadata rows = %d, want 3", meta)
+	}
+	if complete != 2 || instant != 1 {
+		t.Fatalf("complete=%d instant=%d, want 2/1", complete, instant)
+	}
+
+	// The gread event: ts 1000us, dur 2000us, pid 1 (gpu0), tid 3.
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "gread" {
+			if e["ts"].(float64) != 1000 || e["dur"].(float64) != 2000 {
+				t.Fatalf("gread timing: %v", e)
+			}
+			if e["pid"].(float64) != 1 || e["tid"].(float64) != 3 {
+				t.Fatalf("gread identity: %v", e)
+			}
+			args := e["args"].(map[string]any)
+			if args["path"] != "/f" || args["bytes"].(float64) != 128 {
+				t.Fatalf("gread args: %v", args)
+			}
+		}
+		if e["name"] == "fault" && e["pid"].(float64) != 0 {
+			t.Fatalf("host event pid: %v", e)
+		}
+	}
+
+	if !strings.Contains(buf.String(), `"displayTimeUnit":"ms"`) {
+		t.Fatalf("missing displayTimeUnit: %s", buf.String())
+	}
+}
+
+func TestServeOpNames(t *testing.T) {
+	if OpEnqueue.String() != "enqueue" || OpBatch.String() != "batch" || OpDispatch.String() != "dispatch" {
+		t.Fatalf("serve op names: %v %v %v", OpEnqueue, OpBatch, OpDispatch)
+	}
+}

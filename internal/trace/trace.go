@@ -41,13 +41,22 @@ const (
 	// OpRetry marks an RPC retry attempt after a timeout or transient
 	// failure; Path names the retried operation.
 	OpRetry
+	// OpEnqueue marks a serving-layer job admission (internal/serve);
+	// Path names the job's input file and GPU the routed device.
+	OpEnqueue
+	// OpBatch marks a serving-layer batch assembly; Bytes carries the
+	// number of jobs coalesced into the batch.
+	OpBatch
+	// OpDispatch marks a serving-layer kernel dispatch: the span covers
+	// the batched launch from start to completion.
+	OpDispatch
 	numOps
 )
 
 var opNames = [numOps]string{
 	"gopen", "gclose", "gread", "gwrite", "gfsync",
 	"gmmap", "gmunmap", "gmsync", "gunlink", "gfstat", "gftruncate",
-	"evict", "fault", "retry",
+	"evict", "fault", "retry", "enqueue", "batch", "dispatch",
 }
 
 // String names the operation as the paper does (gopen, gread, ...).

@@ -65,6 +65,20 @@ func tokenize(data []byte, fn func(word []byte)) {
 	}
 }
 
+// CountWord reports how many times word occurs in data as a whole token
+// (a maximal [a-z] run), the matching rule of the grep workload (§5.2.2).
+// The serving layer's grep jobs and their host-side oracle both use it, so
+// batching correctness is checked against the exact same matcher.
+func CountWord(data []byte, word string) int {
+	n := 0
+	tokenize(data, func(w []byte) {
+		if string(w) == word {
+			n++
+		}
+	})
+	return n
+}
+
 func dictSet(words []string) map[string]struct{} {
 	s := make(map[string]struct{}, len(words))
 	for _, w := range words {

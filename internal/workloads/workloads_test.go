@@ -318,6 +318,45 @@ func TestCorpusDeterminism(t *testing.T) {
 	}
 }
 
+func TestCorpusSeedByteIdenticalAcrossSystems(t *testing.T) {
+	// Every generator must produce byte-identical inputs on two
+	// independently built Systems from the same seed — the property the
+	// serving soaks and bench comparisons lean on.
+	a := newSystem(t)
+	b := newSystem(t)
+
+	da, db := MakeDictionary(120), MakeDictionary(120)
+	if !reflect.DeepEqual(da.Encode(), db.Encode()) {
+		t.Fatalf("MakeDictionary not deterministic")
+	}
+	spec := TextSpec{Dict: da, DictFraction: 0.6, Seed: 42}
+	if !reflect.DeepEqual(MakeText(16<<10, spec), MakeText(16<<10, TextSpec{Dict: db, DictFraction: 0.6, Seed: 42})) {
+		t.Fatalf("MakeText not deterministic")
+	}
+
+	for _, sys := range []*gpufs.System{a, b} {
+		if err := MakeDataFile(sys.Host(), sys.HostClock(), "/det/data.bin", 32<<10, 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.WriteHostFile("/det/text.txt", MakeText(8<<10, spec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, path := range []string{"/det/data.bin", "/det/text.txt"} {
+		ca, err := a.ReadHostFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := b.ReadHostFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ca, cb) {
+			t.Fatalf("%s differs between identically seeded systems", path)
+		}
+	}
+}
+
 func TestImageWorkloadDeterminism(t *testing.T) {
 	a := newSystem(t)
 	b := newSystem(t)
