@@ -1,9 +1,10 @@
 # Verification tiers.
 #
 #   tier1      — the commit gate: everything builds, all tests pass.
-#   tier2      — the merge gate: vet clean and the full suite under the
-#                race detector (the stress/oracle tests run 500 seeds
-#                concurrently, so this is where sync bugs die).
+#   tier2      — the merge gate: gofmt-clean, vet clean, and the full
+#                suite under the race detector (the stress/oracle tests
+#                run 500 seeds concurrently, so this is where sync bugs
+#                die).
 #   fuzz-smoke — 30s coverage-guided run of the radix-tree fuzzer; CI
 #                budget, not a soak. Extend -fuzztime for real hunts.
 #   stress     — the fault-injection oracle at full depth (500 seeds),
@@ -21,6 +22,8 @@ tier1:
 	$(GO) test ./...
 
 tier2:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
 

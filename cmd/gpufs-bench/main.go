@@ -21,8 +21,9 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0/32, "uniform scale factor for capacities and input sizes")
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, ablation, serve")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, ablation, serve, daemon")
 	reps := flag.Int("reps", 3, "runs averaged per measured cell (the paper averages 5)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable NDJSON (one object per table row) instead of text tables")
 	flag.Parse()
 	if *scale <= 0 {
 		usageError("-scale must be > 0, got %g", *scale)
@@ -43,9 +44,12 @@ func main() {
 		"table4":   bench.Table4,
 		"ablation": bench.Ablation,
 		"serve":    bench.Serve,
+		"daemon":   bench.DaemonScaling,
 	}
 
-	fmt.Printf("GPUfs reproduction benchmarks (scale %g; virtual-time results)\n\n", *scale)
+	if !*jsonOut {
+		fmt.Printf("GPUfs reproduction benchmarks (scale %g; virtual-time results)\n\n", *scale)
+	}
 
 	var tables []*bench.Table
 	switch key := strings.ToLower(*exp); key {
@@ -68,7 +72,13 @@ func main() {
 	}
 
 	for _, tb := range tables {
-		fmt.Println(tb)
+		if *jsonOut {
+			if err := tb.WriteJSONRows(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Println(tb)
+		}
 	}
 }
 

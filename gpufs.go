@@ -150,6 +150,8 @@ func NewSystem(cfg Config) (*System, error) {
 		PollInterval:  cfg.RPCPollInterval,
 		HandleCost:    cfg.RPCHandleCost,
 		ReturnLatency: cfg.RPCPollInterval / 4,
+		Shards:        cfg.RPCShards,
+		Workers:       cfg.DaemonWorkers,
 	}, layer)
 
 	sys := &System{

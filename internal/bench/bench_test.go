@@ -219,3 +219,23 @@ func TestTable4ShapeTiny(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonScalingTiny pins the PR's acceptance shape: with 4 daemon
+// workers and 4 ring shards the 56-block grep must beat the serialized
+// single-worker daemon in virtual time.
+func TestDaemonScalingTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness in -short mode")
+	}
+	g1, _, err := daemonScalingPoint(1.0/32, 1, 480, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, _, err := daemonScalingPoint(1.0/32, 4, 480, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4 >= g1 {
+		t.Fatalf("grep with 4 workers took %v, not faster than 1 worker's %v", g4, g1)
+	}
+}

@@ -10,7 +10,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"gpufs/internal/simtime"
@@ -78,6 +80,32 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// WriteJSONRows emits the table as machine-readable NDJSON: one object
+// per data row, keyed by experiment id, title, row index, and a
+// header→cell map, so the growth loop's perf trajectory can diff runs
+// without parsing aligned text.
+func (t *Table) WriteJSONRows(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i, row := range t.Rows {
+		cells := make(map[string]string, len(row))
+		for j, c := range row {
+			if j < len(t.Header) {
+				cells[t.Header[j]] = c
+			}
+		}
+		obj := map[string]any{
+			"experiment": t.ID,
+			"title":      t.Title,
+			"row":        i,
+			"cells":      cells,
+		}
+		if err := enc.Encode(obj); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // mbps renders a throughput in MB/s.

@@ -25,7 +25,7 @@ type faultHarness struct {
 	inj *faults.Injector
 }
 
-func newFaultHarness(t *testing.T, opt Options, fcfg faults.Config) *faultHarness {
+func newFaultHarness(t *testing.T, opt Options, fcfg faults.Config, shards, workers int) *faultHarness {
 	t.Helper()
 	host := hostfs.New(hostfs.Options{
 		DiskBandwidth:   132 * simtime.MBps,
@@ -46,6 +46,8 @@ func newFaultHarness(t *testing.T, opt Options, fcfg faults.Config) *faultHarnes
 		HandleCost:    12 * simtime.Microsecond,
 		ReturnLatency: 2 * simtime.Microsecond,
 		MaxAttempts:   12,
+		Shards:        shards,
+		Workers:       workers,
 	}, layer)
 
 	inj := faults.New(fcfg)
@@ -105,12 +107,37 @@ func TestFaultStressOracle(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			runFaultStress(t, seed, &totalInjected)
+			runFaultStress(t, seed, 1, 1, &totalInjected)
 		})
 	}
 }
 
-func runFaultStress(t *testing.T, seed int64, totalInjected *atomic.Int64) {
+// TestFaultStressOracleSharded reruns the full oracle on a sharded
+// transport with a parallel host service. Every retry, dedup and timeout
+// decision now happens per ring, so this pins the layered stack to the
+// same correctness contract as the single-ring prototype: a fault burst on
+// one shard must never corrupt state reached through another.
+func TestFaultStressOracleSharded(t *testing.T) {
+	seeds := 500
+	if testing.Short() {
+		seeds = 50
+	}
+	var totalInjected atomic.Int64
+	t.Cleanup(func() {
+		if !t.Failed() && totalInjected.Load() == 0 {
+			t.Errorf("no faults fired across %d seeds; the stress test is vacuous", seeds)
+		}
+	})
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runFaultStress(t, seed, 4, 4, &totalInjected)
+		})
+	}
+}
+
+func runFaultStress(t *testing.T, seed int64, shards, workers int, totalInjected *atomic.Int64) {
 	rng := rand.New(rand.NewSource(seed))
 	fcfg := faults.Config{
 		Seed:                seed,
@@ -131,13 +158,18 @@ func runFaultStress(t *testing.T, seed int64, totalInjected *atomic.Int64) {
 
 	opt := defaultOpt()
 	opt.CacheBytes = 6 * opt.PageSize // constant eviction pressure
-	h := newFaultHarness(t, opt, fcfg)
+	h := newFaultHarness(t, opt, fcfg, shards, workers)
 	fs := h.fss[0]
 	defer func() { totalInjected.Add(h.inj.TotalInjected()) }()
 
 	const maxFile = 200 << 10 // ~12 pages, double the cache
+	noise := make([]byte, 96<<10)
+	rand.New(rand.NewSource(seed ^ 0x6e015e)).Read(noise)
 	h.inj.SetEnabled(false)
 	h.write(t, "/stress", nil)
+	if shards > 1 {
+		h.write(t, "/noise", noise)
+	}
 	h.inj.SetEnabled(true)
 
 	model := []byte{} // expected host view after a full sync
@@ -188,7 +220,58 @@ func runFaultStress(t *testing.T, seed int64, totalInjected *atomic.Int64) {
 		return nil
 	}
 
-	h.run(t, 0, func(b *gpu.Block) error {
+	// noiseReader is block 1's body on sharded runs: a read-only workload
+	// against an immutable file, riding a different ring shard (lane 1)
+	// than the oracle block (lane 0). It shares the page cache, the ring
+	// seq/dedup spaces, and the fault schedule with block 0, so any
+	// cross-shard leakage — a dedup hit against another ring's sequence
+	// numbers, a completion matched to the wrong frame — shows up as a
+	// content mismatch here or as model divergence in the oracle.
+	//
+	// The two blocks are serialized in REAL time (block 0 waits for the
+	// noise phase): the oracle asserts host == model immediately after a
+	// successful gfsync, which only holds while block 0 is the sole
+	// concurrent evictor of its dirty pages — gfsync legitimately skips
+	// pages mid-eviction by another block (Table 1 exempts concurrently
+	// accessed pages). Their VIRTUAL-time windows still overlap fully, so
+	// both rings and daemon workers interleave on the calendar.
+	noiseReader := func(b *gpu.Block) error {
+		nrng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		fd, err := fs.Open(b, "/noise", O_RDONLY)
+		if err != nil {
+			return fmt.Errorf("noise open: %w", err)
+		}
+		for i := 0; i < 80; i++ {
+			off := nrng.Intn(len(noise))
+			n := nrng.Intn(12<<10) + 1
+			buf := make([]byte, n)
+			got, gerr := fs.Read(b, fd, buf, int64(off))
+			if got > len(noise)-off {
+				return fmt.Errorf("noise read %d: %d bytes at %d runs past EOF %d", i, got, off, len(noise))
+			}
+			if !bytes.Equal(buf[:got], noise[off:off+got]) {
+				return fmt.Errorf("noise read %d: content mismatch at %d+%d (err=%v)", i, off, got, gerr)
+			}
+		}
+		// An injected give-up on close is tolerated; the file is read-only
+		// so nothing is lost.
+		_ = fs.Close(b, fd)
+		return nil
+	}
+
+	blocks := 1
+	if shards > 1 {
+		blocks = 2
+	}
+	noiseDone := make(chan struct{})
+	h.runBlocks(t, 0, blocks, func(b *gpu.Block) error {
+		if b.Idx == 1 {
+			defer close(noiseDone)
+			return noiseReader(b)
+		}
+		if blocks > 1 {
+			<-noiseDone
+		}
 		for step := 0; step < 140; step++ {
 			switch op := rng.Intn(100); {
 			case op < 35: // gwrite: tolerated; applies exactly its returned prefix

@@ -246,6 +246,11 @@ func (fs *FS) Cache() *pcache.Cache { return fs.cache }
 // Client exposes the RPC endpoint (stats and tests).
 func (fs *FS) Client() *rpc.Client { return fs.client }
 
+// lane returns the RPC client view bound to the block's home ring shard,
+// so a threadblock's requests keep FIFO order on one ring while blocks on
+// different shards overlap across daemon workers.
+func (fs *FS) lane(b *gpu.Block) *rpc.Client { return fs.client.Bind(b.Idx) }
+
 // newFileCache builds an empty cache for a file.
 func (fs *FS) newFileCache(path string, ino, gen, size int64) *fileCache {
 	fc := &fileCache{
@@ -435,7 +440,7 @@ func (fs *FS) hostOpen(b *gpu.Block, f *file) error {
 	if f.noSync {
 		hostFlags |= hostfs.O_CREATE
 	}
-	hfd, info, err := fs.client.Open(b.Clock, f.path, hostFlags, hostfs.ModeRead|hostfs.ModeWrite)
+	hfd, info, err := fs.lane(b).Open(b.Clock, f.path, hostFlags, hostfs.ModeRead|hostfs.ModeWrite)
 	if err != nil {
 		return err
 	}
@@ -446,7 +451,7 @@ func (fs *FS) hostOpen(b *gpu.Block, f *file) error {
 		// disjoint updates (§3.1). Other writes are single-writer
 		// unless opened O_GWRSHARED.
 		if err := fs.client.BeginWrite(info.Ino, f.writeShrd || f.writeOnce); err != nil {
-			fs.client.Close(b.Clock, hfd)
+			fs.lane(b).Close(b.Clock, hfd)
 			return err
 		}
 	}
@@ -463,13 +468,13 @@ func (fs *FS) hostOpen(b *gpu.Block, f *file) error {
 	fs.mu.Unlock()
 
 	if cached {
-		valid := fs.client.Validate(b.Clock, info.Ino, fc.gen.Load())
+		valid := fs.lane(b).Validate(b.Clock, info.Ino, fc.gen.Load())
 		if valid && info.Generation == fc.gen.Load() {
 			fs.closedReuses.Add(1)
 			// Replace any retained write-back descriptor with the
 			// fresh one.
 			if old := fc.keepFd.Swap(0); old != 0 {
-				fs.client.Close(b.Clock, old)
+				fs.lane(b).Close(b.Clock, old)
 			}
 			f.fc = fc
 			f.hostFd = hfd
@@ -536,9 +541,9 @@ func (fs *FS) closeImpl(b *gpu.Block, fd int) error {
 		fc.keepFd.Store(0)
 		fs.mu.Unlock()
 		fs.discardCache(b, fc)
-		fs.client.Close(b.Clock, f.hostFd)
+		fs.lane(b).Close(b.Clock, f.hostFd)
 		if f.noSync && !f.unlinked {
-			return fs.client.Unlink(b.Clock, f.path)
+			return fs.lane(b).Unlink(b.Clock, f.path)
 		}
 		return fc.takeWriteErr()
 	}
@@ -587,7 +592,7 @@ func (fs *FS) discardCache(b *gpu.Block, fc *fileCache) {
 	fs.retiredLockFree.Add(lf)
 	fs.retiredLocked.Add(lk)
 	if old := fc.keepFd.Swap(0); old != 0 {
-		fs.client.Close(b.Clock, old)
+		fs.lane(b).Close(b.Clock, old)
 	}
 	fs.client.Forget(fc.ino)
 }
@@ -693,12 +698,12 @@ func (fs *FS) Restart(b *gpu.Block) {
 			fs.client.EndWrite(f.fc.ino)
 		}
 		fs.dropCacheNoWriteback(f.fc)
-		fs.client.Close(b.Clock, f.hostFd)
+		fs.lane(b).Close(b.Clock, f.hostFd)
 	}
 	for _, fc := range closed {
 		fs.dropCacheNoWriteback(fc)
 		if old := fc.keepFd.Swap(0); old != 0 {
-			fs.client.Close(b.Clock, old)
+			fs.lane(b).Close(b.Clock, old)
 		}
 	}
 }

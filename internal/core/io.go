@@ -124,7 +124,7 @@ func (fs *FS) fillPage(b *gpu.Block, f *file, fr *pcache.Frame, offset int64) er
 		return nil
 	}
 
-	n, err := fs.client.ReadPages(b.Clock, f.hostFd, offset, fr.Data)
+	n, err := fs.lane(b).ReadPages(b.Clock, f.hostFd, offset, fr.Data)
 	if err != nil {
 		return fmt.Errorf("gpufs: faulting page at %d of %q: %w", offset, f.path, err)
 	}
@@ -191,6 +191,26 @@ func (fs *FS) readImpl(b *gpu.Block, fd int, dst []byte, off int64) (int, error)
 	}
 
 	ps := fs.opt.PageSize
+	firstPage := off / ps
+	lastPage := (off + want - 1) / ps
+
+	// A read spanning several pages issues the later pages' fetches
+	// asynchronously BEFORE faulting the first page, so all of them are
+	// in flight on the block's ring shard at once: the daemon worker
+	// pipelines the file reads and the DMAs overlap, instead of one
+	// blocking round trip per page. The copy loop below then finds the
+	// frames resident (or initializing) and advances the block's clock to
+	// each transfer's completion through Frame.ReadyAt — the same
+	// mechanism read-ahead uses. Speculation is bounded: pages past the
+	// budget fall back to synchronous faults in the loop.
+	if lastPage > firstPage && !f.writeOnce {
+		budget := fs.fetchBudget()
+		for pageIdx := firstPage + 1; pageIdx <= lastPage && budget > 0; pageIdx++ {
+			fs.prefetchPage(b, f, pageIdx)
+			budget--
+		}
+	}
+
 	var done int64
 	for done < want {
 		cur := off + done

@@ -49,7 +49,7 @@ func (fs *FS) ftruncateImpl(b *gpu.Block, fd int, size int64) error {
 	if !f.writable {
 		return fmt.Errorf("%w: %q", ErrReadOnly, f.path)
 	}
-	if err := fs.client.Truncate(b.Clock, f.hostFd, size); err != nil {
+	if err := fs.lane(b).Truncate(b.Clock, f.hostFd, size); err != nil {
 		return err
 	}
 
@@ -100,7 +100,7 @@ func (fs *FS) ftruncateImpl(b *gpu.Block, fd int, size int64) error {
 // open on this GPU, the host unlink still happens; local pages are
 // discarded when the last gclose retires the descriptor.
 func (fs *FS) unlinkImpl(b *gpu.Block, path string) error {
-	if err := fs.client.Unlink(b.Clock, path); err != nil {
+	if err := fs.lane(b).Unlink(b.Clock, path); err != nil {
 		return err
 	}
 

@@ -11,6 +11,24 @@ import (
 	"gpufs/internal/trace"
 )
 
+// maxBatchFetch caps how many pages of one multi-page gread are issued as
+// concurrent in-flight fetches ahead of the copy loop. The cap bounds
+// speculative frame pressure: batched fetches use TryAlloc and never evict,
+// so a burst cannot push resident data out of a tight cache.
+const maxBatchFetch = 16
+
+// fetchBudget reports how many concurrent speculative fetches a multi-page
+// read may issue right now, scaled down when the frame pool is nearly
+// drained so demand faults keep priority over pipelining.
+func (fs *FS) fetchBudget() int {
+	free := fs.cache.FreeFrames()
+	budget := maxBatchFetch
+	if free < budget*2 {
+		budget = free / 2
+	}
+	return budget
+}
+
 // allocFrame obtains a free frame for (fc, offset), running the paging
 // algorithm on the calling threadblock when the pool is empty. GPUfs has no
 // daemon threads — paging "hijacks" the calling thread and must therefore

@@ -63,7 +63,7 @@ func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64) {
 	}
 	fc.frames.Add(1)
 
-	n, done, err := fs.client.ReadPagesAsync(b.Clock, f.hostFd, pageIdx*fs.opt.PageSize, fr.Data)
+	n, done, err := fs.lane(b).ReadPagesAsync(b.Clock, f.hostFd, pageIdx*fs.opt.PageSize, fr.Data)
 	if err != nil {
 		fs.cache.Release(fr, false)
 		fc.frames.Add(-1)

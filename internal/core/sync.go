@@ -49,7 +49,7 @@ func (fs *FS) writeBackFrame(b *gpu.Block, hostFd int64, fr *pcache.Frame) error
 	}
 
 	for _, r := range ranges {
-		if _, err := fs.client.WritePages(b.Clock, hostFd, base+r.Start, data[r.Start:r.End]); err != nil {
+		if _, err := fs.lane(b).WritePages(b.Clock, hostFd, base+r.Start, data[r.Start:r.End]); err != nil {
 			fr.Dirty.Store(true)
 			return fmt.Errorf("gpufs: writing back page at %d: %w", base, err)
 		}
@@ -65,7 +65,7 @@ func (fs *FS) writeBackFrame(b *gpu.Block, hostFd int64, fr *pcache.Frame) error
 // copy current. If another processor wrote concurrently, the generations
 // will not line up and the next gopen will (correctly) invalidate us.
 func (fs *FS) refreshGeneration(b *gpu.Block, fc *fileCache, hostFd int64) {
-	info, err := fs.client.Stat(b.Clock, hostFd)
+	info, err := fs.lane(b).Stat(b.Clock, hostFd)
 	if err != nil {
 		return // stale generation only costs an extra invalidation
 	}
@@ -175,5 +175,5 @@ func (fs *FS) FsyncDisk(b *gpu.Block, fd int) error {
 	if err != nil {
 		return err
 	}
-	return fs.client.Fsync(b.Clock, f.hostFd)
+	return fs.lane(b).Fsync(b.Clock, f.hostFd)
 }

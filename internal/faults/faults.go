@@ -287,6 +287,29 @@ func (i *Injector) Should(s Site, now simtime.Time) bool {
 	return true
 }
 
+// ShouldOn is Should with attribution: a fired fault's trace event is
+// stamped with the GPU and ring shard (1-based; 0 = unsharded) where the
+// fault landed, so per-shard lanes render distinctly in trace exports.
+// The draw schedule is identical to Should — sharded and unsharded callers
+// consume the same deterministic sequence. Safe on nil (never fires).
+func (i *Injector) ShouldOn(s Site, now simtime.Time, gpu, shard int) bool {
+	if !i.Enabled() {
+		return false
+	}
+	p := i.cfg.prob(s)
+	if p <= 0 || i.draw(s) >= p {
+		return false
+	}
+	i.injected[s].Add(1)
+	if t := i.tracer.Load(); t.Enabled() {
+		t.Record(trace.Event{
+			GPU: gpu, Shard: shard, Op: trace.OpFault, Path: s.String(),
+			Start: now, End: now,
+		})
+	}
+	return true
+}
+
 // Delay draws a deterministic duration in (0, max] for a fired delay-class
 // site, where max is the site's configured magnitude.
 func (i *Injector) Delay(s Site) simtime.Duration {

@@ -114,6 +114,14 @@ type Config struct {
 	// RPC request (excluding file I/O and DMA, which are charged to their
 	// own resources).
 	RPCHandleCost simtime.Duration
+	// RPCShards is the number of RPC request rings per GPU; threadblocks
+	// hash to rings. 0 or 1 reproduces the prototype's single ring.
+	RPCShards int
+	// DaemonWorkers is the number of host daemon threads draining the
+	// rings (the paper's multi-threaded daemon, §4.2); ring shard s is
+	// pinned to worker s mod DaemonWorkers. 0 or 1 reproduces the
+	// single-threaded daemon.
+	DaemonWorkers int
 	// ForceLockedTraversal disables lock-free radix-tree reads on every
 	// GPU, reproducing Figure 7's locked baseline.
 	ForceLockedTraversal bool
@@ -276,6 +284,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("params: DiskBandwidth must be positive")
 	case c.CPUMemBandwidth <= 0:
 		return fmt.Errorf("params: CPUMemBandwidth must be positive")
+	case c.RPCShards < 0:
+		return fmt.Errorf("params: RPCShards must be >= 0, got %d", c.RPCShards)
+	case c.DaemonWorkers < 0:
+		return fmt.Errorf("params: DaemonWorkers must be >= 0, got %d", c.DaemonWorkers)
 	case c.Scale <= 0:
 		return fmt.Errorf("params: Scale must be positive, got %v", c.Scale)
 	}

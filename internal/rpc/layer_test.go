@@ -1,0 +1,216 @@
+package rpc
+
+import (
+	"testing"
+
+	"gpufs/internal/hostfs"
+	"gpufs/internal/pcie"
+	"gpufs/internal/simtime"
+	"gpufs/internal/wrapfs"
+)
+
+// shardedHarness is harness with an explicit ring-shard and daemon-worker
+// count, for exercising the layered transport beyond the single-ring
+// prototype shape.
+func shardedHarness(t *testing.T, shards, workers int) (*Server, *Client, *hostfs.FS) {
+	t.Helper()
+	host := hostfs.New(hostfs.Options{
+		DiskBandwidth:   132 * simtime.MBps,
+		DiskSeek:        simtime.Millisecond,
+		MemBandwidth:    6600 * simtime.MBps,
+		CacheBytes:      64 << 20,
+		SyscallOverhead: 4 * simtime.Microsecond,
+	})
+	layer := wrapfs.New(host)
+	bus := pcie.New(pcie.Config{
+		Bandwidth:        5731 * simtime.MBps,
+		DMALatency:       15 * simtime.Microsecond,
+		Channels:         4,
+		HostMemBandwidth: 6600 * simtime.MBps,
+	}, host.MemBus())
+	srv := NewServer(Config{
+		PollInterval:  10 * simtime.Microsecond,
+		HandleCost:    12 * simtime.Microsecond,
+		ReturnLatency: 2 * simtime.Microsecond,
+		Shards:        shards,
+		Workers:       workers,
+	}, layer)
+	return srv, srv.NewClient(0, bus.NewLink(0, nil, 0)), host
+}
+
+// TestOpNamesInSync pins opNames to the Op enum: adding an op without a
+// wire name (or vice versa) must fail loudly, not render as "op(9)".
+func TestOpNamesInSync(t *testing.T) {
+	if len(opNames) != int(numOps) {
+		t.Fatalf("opNames has %d entries, Op enum has %d", len(opNames), numOps)
+	}
+	seen := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		name := op.String()
+		if name == "" {
+			t.Fatalf("op %d has an empty name", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("ops %d and %d share the name %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+}
+
+// TestShardRoutingStableAndCovering checks the lane→shard hash: in range,
+// deterministic across clients, identical on every call, and spread over
+// all shards for a realistic block count.
+func TestShardRoutingStableAndCovering(t *testing.T) {
+	const shards = 4
+	srv, cl, _ := shardedHarness(t, shards, shards)
+	if cl.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", cl.Shards(), shards)
+	}
+
+	other := srv.NewClient(1, cl.Link())
+	covered := make(map[int]bool)
+	for lane := -8; lane < 56; lane++ {
+		s := cl.ShardFor(lane)
+		if s < 0 || s >= shards {
+			t.Fatalf("lane %d routed to shard %d, out of [0,%d)", lane, s, shards)
+		}
+		if again := cl.ShardFor(lane); again != s {
+			t.Fatalf("lane %d unstable: %d then %d", lane, s, again)
+		}
+		if os := other.ShardFor(lane); os != s {
+			t.Fatalf("lane %d differs across clients: %d vs %d", lane, s, os)
+		}
+		if bs := cl.Bind(lane).Shard(); bs != s {
+			t.Fatalf("Bind(%d) landed on shard %d, ShardFor says %d", lane, bs, s)
+		}
+		covered[s] = true
+	}
+	if len(covered) != shards {
+		t.Fatalf("56 lanes covered only %d of %d shards", len(covered), shards)
+	}
+
+	// Bind to the already-bound shard must return the same view, not a copy.
+	for lane := 0; lane < 64; lane++ {
+		if cl.ShardFor(lane) == cl.Shard() {
+			if cl.Bind(lane) != cl {
+				t.Fatalf("Bind(%d) to the current shard allocated a new view", lane)
+			}
+			break
+		}
+	}
+
+	// A single-ring transport routes everything to shard 0.
+	_, one, _ := shardedHarness(t, 1, 1)
+	for lane := -3; lane < 40; lane++ {
+		if s := one.ShardFor(lane); s != 0 {
+			t.Fatalf("single-ring transport routed lane %d to shard %d", lane, s)
+		}
+	}
+}
+
+// TestDedupIsolationAcrossShards pins the per-ring dedup contract: a
+// sequence number applied on one ring must be invisible to every other
+// ring, so a fault burst on shard A can never satisfy (or poison) a retry
+// on shard B.
+func TestDedupIsolationAcrossShards(t *testing.T) {
+	_, cl, _ := shardedHarness(t, 4, 4)
+	sh0, sh1 := cl.t.shards[0], cl.t.shards[1]
+
+	sh0.dedupStore(7, nil)
+	if hit, _ := sh1.dedupLookup(7); hit {
+		t.Fatalf("seq applied on shard 0 visible to shard 1's dedup table")
+	}
+	if hit, _ := sh0.dedupLookup(7); !hit {
+		t.Fatalf("seq applied on shard 0 not found on its own ring")
+	}
+}
+
+// TestOutOfOrderCompletions drives a slow multi-page read on one ring and
+// a metadata stat on another: the stat is sent later but must be delivered
+// first, and the completion queue must match every response to its frame.
+func TestOutOfOrderCompletions(t *testing.T) {
+	_, cl, host := shardedHarness(t, 4, 4)
+
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := host.WriteFile(simtime.NewClock(0), "/big", big, rwMode); err != nil {
+		t.Fatal(err)
+	}
+
+	c0 := simtime.NewClock(0)
+	fd, _, err := cl.Open(c0, "/big", hostfs.O_RDONLY, hostfs.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two lanes on distinct rings.
+	slowLane, fastLane := 0, 1
+	for cl.ShardFor(fastLane) == cl.ShardFor(slowLane) {
+		fastLane++
+	}
+	base := c0.Now().Add(simtime.Millisecond)
+
+	slow := cl.Bind(slowLane)
+	slowClk := simtime.NewClock(base)
+	dst := make([]byte, len(big))
+	if n, err := slow.ReadPages(slowClk, fd, 0, dst); err != nil || n != len(big) {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+
+	fast := cl.Bind(fastLane)
+	fastClk := simtime.NewClock(base.Add(simtime.Microsecond))
+	if _, err := fast.Stat(fastClk, fd); err != nil {
+		t.Fatal(err)
+	}
+
+	if fastClk.Now() >= slowClk.Now() {
+		t.Fatalf("stat (done %v) did not overtake the big read (done %v)",
+			fastClk.Now(), slowClk.Now())
+	}
+	if ooo := cl.OutOfOrderCompletions(); ooo < 1 {
+		t.Fatalf("OutOfOrderCompletions = %d, want >= 1", ooo)
+	}
+	if un := cl.UnmatchedCompletions(); un != 0 {
+		t.Fatalf("UnmatchedCompletions = %d, want 0", un)
+	}
+	if m := cl.Completions(); m < 3 {
+		t.Fatalf("Completions = %d, want >= 3 (open + read + stat)", m)
+	}
+}
+
+// TestWorkerPoolOverlap launches the same burst of metadata ops on a
+// four-worker and a one-worker host service (ring count held fixed): the
+// pool must finish strictly earlier, and the single worker must reproduce
+// the serialized daemon.
+func TestWorkerPoolOverlap(t *testing.T) {
+	finish := func(workers int) simtime.Time {
+		_, cl, host := shardedHarness(t, 4, workers)
+		if err := host.WriteFile(simtime.NewClock(0), "/f", []byte("x"), rwMode); err != nil {
+			t.Fatal(err)
+		}
+		c0 := simtime.NewClock(0)
+		fd, _, err := cl.Open(c0, "/f", hostfs.O_RDONLY, hostfs.ModeRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := c0.Now().Add(simtime.Millisecond)
+		var last simtime.Time
+		for lane := 0; lane < 8; lane++ {
+			clk := simtime.NewClock(base)
+			if _, err := cl.Bind(lane).Stat(clk, fd); err != nil {
+				t.Fatal(err)
+			}
+			if clk.Now() > last {
+				last = clk.Now()
+			}
+		}
+		return last
+	}
+
+	serial, pooled := finish(1), finish(4)
+	if pooled >= serial {
+		t.Fatalf("4-worker burst finished at %v, not earlier than 1-worker %v", pooled, serial)
+	}
+}

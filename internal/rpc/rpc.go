@@ -3,23 +3,38 @@
 // GPU-as-coprocessor roles — and the host CPU runs a file server daemon.
 //
 // The protocol is synchronous and stateless: a threadblock writes a request
-// into its GPU's FIFO ring in write-shared host memory, the CPU daemon
-// discovers it by polling (today's GPUs offer no GPU-to-CPU signal), handles
-// it, and the block spins on the response slot. Because PCIe offers no
-// cross-bus atomics, there is no one-sided locking anywhere in the protocol:
-// every interaction is a message exchange.
+// into one of its GPU's FIFO rings in write-shared host memory, a CPU daemon
+// worker discovers it by polling (today's GPUs offer no GPU-to-CPU signal),
+// handles it, and the block spins on the response slot. Because PCIe offers
+// no cross-bus atomics, there is no one-sided locking anywhere in the
+// protocol: every interaction is a message exchange.
 //
-// The host side is a single-threaded, event-based daemon (modelled by a
-// serialized virtual-time resource): file accesses are ordered, while bulk
-// DMA transfers proceed on the link's asynchronous channels and overlap with
-// subsequent request handling — exactly the paper's design. Bulk data never
-// travels through the ring; the CPU DMAs it directly to or from the GPU
-// buffer-cache pages whose device pointers the GPU supplied.
+// The package is layered (ISSUE 3):
+//
+//   - protocol (this file): the typed operations — Open, ReadPages,
+//     WritePages, Stat, … — that marshal arguments into request slots and
+//     capture results. A Client is one GPU's endpoint, optionally Bind-ed
+//     to a lane so a threadblock's traffic rides its home ring shard.
+//   - transport (transport.go): N sharded rings per GPU behind the
+//     Transport interface. Blocks hash to shards; the retry/timeout
+//     protocol, sequence-number dedup, and fault-injection hooks all live
+//     here, so every shard inherits the failure handling unchanged. A
+//     completion queue matches responses back by (shard, seq) and records
+//     out-of-order delivery.
+//   - host service (service.go): the daemon worker pool. Ring shard s is
+//     statically pinned to worker s mod Workers, so each ring keeps FIFO
+//     order on one host timeline while distinct rings overlap in virtual
+//     time — the paper's multi-threaded daemon (§4.2).
+//
+// Bulk data never travels through the rings; the CPU DMAs it directly to
+// or from the GPU buffer-cache pages whose device pointers the GPU
+// supplied, on the link's asynchronous channels, overlapping with
+// subsequent request handling.
 //
 // # Failure handling
 //
-// With a fault injector installed (internal/faults), the protocol grows the
-// robustness a production daemon needs:
+// With a fault injector installed (internal/faults), the transport grows
+// the robustness a production daemon needs:
 //
 //   - Per-request timeouts in virtual time: a block spinning on a response
 //     slot gives up Timeout after the request was sent and re-enqueues.
@@ -27,11 +42,12 @@
 //     retry budget; only transient failures (EAGAIN, lost responses) are
 //     retried — real I/O errors are returned immediately.
 //   - Idempotent re-execution: every logical request carries a sequence
-//     number assigned once and reused across retries. The server keeps a
-//     per-ring dedup table keyed by sequence number; a retry of a request
-//     whose response was lost is answered from the table without
+//     number assigned once and reused across retries. Each ring shard
+//     keeps its own dedup table keyed by sequence number; a retry of a
+//     request whose response was lost is answered from the table without
 //     re-applying the operation, so non-idempotent requests (open with
-//     O_TRUNC, close, pwrite) are applied exactly once.
+//     O_TRUNC, close, pwrite) are applied exactly once. Dedup state is
+//     per-shard: faults on one ring cannot corrupt another.
 //
 // With no injector the happy path is byte-identical to the fault-free
 // protocol: one atomic pointer load per request.
@@ -47,7 +63,6 @@ import (
 	"gpufs/internal/hostfs"
 	"gpufs/internal/pcie"
 	"gpufs/internal/simtime"
-	"gpufs/internal/trace"
 	"gpufs/internal/wrapfs"
 )
 
@@ -93,9 +108,9 @@ var (
 // Real I/O errors (EIO and friends) are not.
 func Retryable(err error) bool { return errors.Is(err, ErrAgain) }
 
-// Config parameterizes the RPC timing model and retry policy.
+// Config parameterizes the RPC timing model, topology, and retry policy.
 type Config struct {
-	// PollInterval is the mean delay before the polling CPU daemon
+	// PollInterval is the mean delay before a polling daemon worker
 	// notices a newly enqueued request.
 	PollInterval simtime.Duration
 	// HandleCost is the CPU cost of dequeuing and dispatching a request.
@@ -103,6 +118,14 @@ type Config struct {
 	// ReturnLatency is the delay before the spinning GPU block observes
 	// the response in write-shared memory.
 	ReturnLatency simtime.Duration
+
+	// Shards is the number of request rings per GPU; threadblocks hash
+	// to rings. Zero selects 1 (the original single-ring layout).
+	Shards int
+	// Workers is the number of daemon worker threads draining the rings;
+	// ring shard s is pinned to worker s mod Workers. Zero selects 1
+	// (the original single-threaded daemon).
+	Workers int
 
 	// Timeout is how long (virtual) a block spins on its response slot
 	// before declaring the response lost and retrying. Zero selects the
@@ -118,13 +141,13 @@ type Config struct {
 	MaxAttempts int
 }
 
-// Server is the CPU-side GPUfs daemon: a user-level thread in the host
-// application with access to the host file system and the consistency
-// layer. One Server serves every GPU of the process.
+// Server is the CPU-side GPUfs daemon process: the host service worker
+// pool plus the file-descriptor table and consistency layer shared by
+// every GPU's rings. One Server serves every GPU of the process.
 type Server struct {
-	cfg    Config
-	layer  *wrapfs.Layer
-	daemon *simtime.Resource
+	cfg   Config
+	layer *wrapfs.Layer
+	svc   *hostService
 
 	inj atomic.Pointer[faults.Injector]
 
@@ -137,6 +160,12 @@ type Server struct {
 
 // NewServer creates the host daemon over the given consistency layer.
 func NewServer(cfg Config, layer *wrapfs.Layer) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * simtime.Millisecond
 	}
@@ -152,7 +181,7 @@ func NewServer(cfg Config, layer *wrapfs.Layer) *Server {
 	return &Server{
 		cfg:    cfg,
 		layer:  layer,
-		daemon: simtime.NewResource("gpufs-cpu-daemon"),
+		svc:    newHostService(cfg.Workers),
 		fds:    make(map[int64]*hostfs.File),
 		nextFd: 3,
 	}
@@ -178,13 +207,18 @@ func (s *Server) TotalRequests() int64 {
 	return n
 }
 
-// ResetTime returns the daemon's timeline to idle (benchmark harness use).
-func (s *Server) ResetTime() { s.daemon.Reset() }
+// Workers reports the daemon worker-pool size.
+func (s *Server) Workers() int { return s.svc.Workers() }
 
-// DaemonBusy reports the daemon thread's accumulated busy time.
-func (s *Server) DaemonBusy() simtime.Duration { return s.daemon.Busy() }
+// ResetTime returns every daemon worker's timeline to idle (benchmark
+// harness use).
+func (s *Server) ResetTime() { s.svc.Reset() }
 
-// dedupSlots is the server-side dedup table size per client ring. Sequence
+// DaemonBusy reports the daemon workers' accumulated busy time, summed
+// over the pool.
+func (s *Server) DaemonBusy() simtime.Duration { return s.svc.Busy() }
+
+// dedupSlots is the server-side dedup table size per ring shard. Sequence
 // numbers index it modulo the size; a slot is only consulted by retries of
 // the exact sequence number it holds, and concurrent in-flight requests per
 // ring are far fewer than the slot count, so collisions cannot alias.
@@ -200,27 +234,37 @@ type dedupEntry struct {
 	err     error
 }
 
-// Client is a GPU's endpoint: the request ring plus the device's DMA link.
+// Client is a GPU's protocol endpoint: typed operations over the GPU's
+// ring transport plus the device's DMA link. The zero lane (an unbound
+// client) routes to ring shard 0; Bind derives per-lane views that route
+// a threadblock's traffic to its home shard.
 type Client struct {
 	srv   *Server
 	gpuID int
 	link  *pcie.Link
 
-	inflight atomic.Int64
-	maxDepth atomic.Int64
-
-	// seq numbers logical requests; retries reuse the number.
-	seq      atomic.Uint64
-	retries  atomic.Int64
-	timeouts atomic.Int64
-
-	dedupMu sync.Mutex
-	dedup   [dedupSlots]dedupEntry
+	t     *ringTransport
+	shard int
 }
 
-// NewClient creates the RPC endpoint for one GPU.
+// NewClient creates the RPC endpoint for one GPU, with the server's
+// configured number of ring shards.
 func (s *Server) NewClient(gpuID int, link *pcie.Link) *Client {
-	return &Client{srv: s, gpuID: gpuID, link: link}
+	return &Client{srv: s, gpuID: gpuID, link: link, t: newRingTransport(s, gpuID)}
+}
+
+// Bind returns a view of the client whose requests ride the ring shard
+// that lane (a threadblock index) hashes to. Views share the transport —
+// rings, dedup tables, counters — so Bind is cheap and safe to call per
+// operation.
+func (c *Client) Bind(lane int) *Client {
+	shard := c.t.ShardFor(lane)
+	if shard == c.shard {
+		return c
+	}
+	view := *c
+	view.shard = shard
+	return &view
 }
 
 // GPUID reports the owning GPU's index.
@@ -229,162 +273,46 @@ func (c *Client) GPUID() int { return c.gpuID }
 // Link returns the client's DMA link.
 func (c *Client) Link() *pcie.Link { return c.link }
 
+// Shards reports the number of request rings on this client's transport.
+func (c *Client) Shards() int { return c.t.Shards() }
+
+// Shard reports the ring shard this client view is bound to.
+func (c *Client) Shard() int { return c.shard }
+
+// ShardFor reports the ring shard the given lane hashes to. The mapping
+// is stable across clients and runs.
+func (c *Client) ShardFor(lane int) int { return c.t.ShardFor(lane) }
+
 // MaxQueueDepth reports the maximum number of concurrently outstanding
-// requests observed on this client's ring.
-func (c *Client) MaxQueueDepth() int64 { return c.maxDepth.Load() }
+// requests observed across this GPU's rings.
+func (c *Client) MaxQueueDepth() int64 { return c.t.maxDepth.Load() }
 
-// Retries reports how many retry attempts this client has issued.
-func (c *Client) Retries() int64 { return c.retries.Load() }
+// Retries reports how many retry attempts this GPU's transport has issued.
+func (c *Client) Retries() int64 { return c.t.retries.Load() }
 
-// Timeouts reports how many response timeouts this client has observed.
-func (c *Client) Timeouts() int64 { return c.timeouts.Load() }
+// Timeouts reports how many response timeouts this GPU's transport has
+// observed.
+func (c *Client) Timeouts() int64 { return c.t.timeouts.Load() }
 
-// begin models enqueue + poll + dispatch: the request sent at the block's
-// current time is noticed by the daemon after the poll interval, then waits
-// for the single daemon thread. It returns the daemon-side clock positioned
-// at the start of request handling.
-func (c *Client) begin(blk *simtime.Clock, op Op) *simtime.Clock {
-	return c.beginDelayed(blk, op, 0)
-}
+// Completions reports how many responses the completion queue matched
+// back to their request frames.
+func (c *Client) Completions() int64 { return c.t.cq.Matched() }
 
-// beginDelayed is begin with an extra (injected) poll delay.
-func (c *Client) beginDelayed(blk *simtime.Clock, op Op, extra simtime.Duration) *simtime.Clock {
-	c.srv.reqCount[op].Add(1)
-	d := c.inflight.Add(1)
-	for {
-		m := c.maxDepth.Load()
-		if d <= m || c.maxDepth.CompareAndSwap(m, d) {
-			break
-		}
-	}
-	arrive := blk.Now().Add(c.srv.cfg.PollInterval + extra)
-	_, end := c.srv.daemon.Acquire(arrive, c.srv.cfg.HandleCost)
-	return simtime.NewClock(end)
-}
+// OutOfOrderCompletions reports how many responses were overtaken by a
+// response to a later-sent request — the signature of sharded rings and
+// parallel daemon workers. Always zero with one shard and one worker.
+func (c *Client) OutOfOrderCompletions() int64 { return c.t.cq.OutOfOrder() }
 
-// finish releases the daemon (it stays occupied from the handling slot
-// through the end of the host work) and advances the block's clock to when
-// it observes the response; done is the completion time of any asynchronous
-// DMA belonging to the request.
-func (c *Client) finish(blk, cclk *simtime.Clock, handleEnd simtime.Time, done simtime.Time) {
-	c.inflight.Add(-1)
-	c.srv.daemon.Occupy(handleEnd, cclk.Now())
-	if cclk.Now() > done {
-		done = cclk.Now()
-	}
-	blk.AdvanceTo(done.Add(c.srv.cfg.ReturnLatency))
-}
+// UnmatchedCompletions reports responses that arrived for no pending
+// frame; nonzero values indicate a transport bug.
+func (c *Client) UnmatchedCompletions() int64 { return c.t.cq.Unmatched() }
 
-// dedupLookup consults the client ring's dedup table for seq.
-func (c *Client) dedupLookup(seq uint64) (hit bool, err error) {
-	c.dedupMu.Lock()
-	e := &c.dedup[seq%dedupSlots]
-	hit, err = e.applied && e.seq == seq, e.err
-	c.dedupMu.Unlock()
-	return hit, err
-}
-
-// dedupStore records that seq was applied with the given outcome.
-func (c *Client) dedupStore(seq uint64, err error) {
-	c.dedupMu.Lock()
-	c.dedup[seq%dedupSlots] = dedupEntry{seq: seq, applied: true, err: err}
-	c.dedupMu.Unlock()
-}
-
-// invoke runs one logical request. handler performs the server-side work on
-// the daemon's clock and returns the completion time of any asynchronous
-// DMA plus the operation's error; its result values land in variables the
-// caller captured. With no (enabled) fault injector the fast path is the
-// plain one-attempt exchange; otherwise the retry protocol of the package
-// comment applies.
-func (c *Client) invoke(blk *simtime.Clock, op Op, handler func(cclk *simtime.Clock) (simtime.Time, error)) error {
-	inj := c.srv.inj.Load()
-	if !inj.Enabled() {
-		cclk := c.begin(blk, op)
-		handleEnd := cclk.Now()
-		done, err := handler(cclk)
-		c.finish(blk, cclk, handleEnd, done)
-		return err
-	}
-	return c.invokeFaulty(blk, op, inj, handler)
-}
-
-// invokeFaulty is invoke's slow path: timeouts, backoff, and dedup under
-// fault injection.
-func (c *Client) invokeFaulty(blk *simtime.Clock, op Op, inj *faults.Injector,
-	handler func(cclk *simtime.Clock) (simtime.Time, error)) error {
-
-	seq := c.seq.Add(1)
-	cfg := &c.srv.cfg
-	var lastErr error
-	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			c.retries.Add(1)
-			// Bounded exponential backoff in virtual time before
-			// re-enqueuing.
-			d := cfg.RetryBase << uint(attempt-1)
-			if d <= 0 || d > cfg.RetryMax {
-				d = cfg.RetryMax
-			}
-			blk.Advance(d)
-			inj.RecordEvent(trace.Event{
-				GPU: c.gpuID, Op: trace.OpRetry, Path: op.String(),
-				Start: blk.Now(), End: blk.Now(),
-			})
-		}
-		sent := blk.Now()
-
-		// Injected slow poll: the daemon notices the request late.
-		var extra simtime.Duration
-		if inj.Should(faults.RPCPollDelay, sent) {
-			extra = inj.Delay(faults.RPCPollDelay)
-		}
-		cclk := c.beginDelayed(blk, op, extra)
-		handleEnd := cclk.Now()
-
-		if inj.Should(faults.RPCTransient, cclk.Now()) {
-			// EAGAIN: the daemon bounces the request before touching
-			// the dedup table or the file system — nothing applied.
-			c.finish(blk, cclk, handleEnd, 0)
-			lastErr = ErrAgain
-			continue
-		}
-
-		var done simtime.Time
-		var err error
-		if hit, cachedErr := c.dedupLookup(seq); hit {
-			// A previous attempt applied this request but its
-			// response was lost; re-deliver the cached reply without
-			// re-executing (exactly-once application).
-			err = cachedErr
-		} else {
-			done, err = handler(cclk)
-			c.dedupStore(seq, err)
-		}
-
-		if inj.Should(faults.RPCDropResponse, cclk.Now()) {
-			// The work is done but the response never reaches the
-			// spinning block: the daemon is still charged, the block
-			// spins until its timeout, then retries.
-			c.inflight.Add(-1)
-			c.srv.daemon.Occupy(handleEnd, cclk.Now())
-			c.timeouts.Add(1)
-			blk.AdvanceTo(sent.Add(cfg.Timeout))
-			lastErr = fmt.Errorf("%w: %s seq %d", ErrTimeout, op, seq)
-			continue
-		}
-		if inj.Should(faults.RPCDupResponse, cclk.Now()) {
-			// The response is delivered twice; the block consumed the
-			// first copy, and the duplicate — arriving for a sequence
-			// number already completed — is discarded on arrival.
-			// Counted by the injector; no semantic effect, which is
-			// the point.
-			_ = seq
-		}
-		c.finish(blk, cclk, handleEnd, done)
-		return err
-	}
-	return fmt.Errorf("%w: %s gave up after %d attempts: %v", ErrTimeout, op, cfg.MaxAttempts, lastErr)
+// invoke runs one logical request on this view's ring shard. handler
+// performs the server-side work on a daemon worker's clock and returns the
+// completion time of any asynchronous DMA plus the operation's error; its
+// result values land in variables the caller captured.
+func (c *Client) invoke(blk *simtime.Clock, op Op, handler Handler) error {
+	return c.t.Submit(blk, c.shard, op, handler)
 }
 
 // Open opens the host file and returns a server-side descriptor handle and
@@ -463,10 +391,10 @@ func (c *Client) readFull(cclk *simtime.Clock, f *hostfs.File, staging []byte, o
 }
 
 // ReadPages reads len(dst) bytes from the host file at off and DMAs them
-// into the device memory slice dst. The daemon performs the file read
-// synchronously (ordering file accesses) and then hands the bulk transfer
-// to an asynchronous DMA channel; the caller's clock advances to DMA
-// completion, while the daemon is free as soon as the read finishes.
+// into the device memory slice dst. The daemon worker performs the file
+// read synchronously (ordering file accesses per ring) and then hands the
+// bulk transfer to an asynchronous DMA channel; the caller's clock advances
+// to DMA completion, while the worker is free as soon as the read finishes.
 func (c *Client) ReadPages(blk *simtime.Clock, fd int64, off int64, dst []byte) (int, error) {
 	var got int
 	err := c.invoke(blk, OpReadPages, func(cclk *simtime.Clock) (simtime.Time, error) {
@@ -490,47 +418,39 @@ func (c *Client) ReadPages(blk *simtime.Clock, fd int64, off int64, dst []byte) 
 }
 
 // ReadPagesAsync is ReadPages for prefetching: the request is enqueued at
-// the block's current time and handled by the daemon identically, but the
-// BLOCK DOES NOT WAIT — its clock is untouched and the returned completion
-// time says when the prefetched page becomes usable. This is the
+// the block's current time and handled by a daemon worker identically, but
+// the BLOCK DOES NOT WAIT — its clock is untouched and the returned
+// completion time says when the prefetched page becomes usable. This is the
 // buffer-cache read-ahead the paper lists among the optimizations a GPU
 // buffer cache enables (§3.3). Speculative reads are not retried: there is
 // no block waiting on the result, and a lost prefetch costs only the
 // optimization.
 func (c *Client) ReadPagesAsync(blk *simtime.Clock, fd int64, off int64, dst []byte) (int, simtime.Time, error) {
-	inj := c.srv.inj.Load()
-	var extra simtime.Duration
-	if inj.Enabled() && inj.Should(faults.RPCPollDelay, blk.Now()) {
-		extra = inj.Delay(faults.RPCPollDelay)
-	}
-	cclk := c.beginDelayed(blk, OpReadPages, extra)
-	handleEnd := cclk.Now()
-	defer func() {
-		c.inflight.Add(-1)
-		c.srv.daemon.Occupy(handleEnd, cclk.Now())
-	}()
-
-	if inj.Enabled() && inj.Should(faults.RPCTransient, cclk.Now()) {
-		return 0, 0, ErrAgain
-	}
-	f, err := c.srv.file(fd)
+	var got int
+	done, err := c.t.SubmitAsync(blk, c.shard, OpReadPages, func(cclk *simtime.Clock) (simtime.Time, error) {
+		f, err := c.srv.file(fd)
+		if err != nil {
+			return 0, err
+		}
+		staging := make([]byte, len(dst))
+		n, err := c.readFull(cclk, f, staging, off)
+		if err != nil {
+			return 0, err
+		}
+		copy(dst[:n], staging[:n])
+		got = n
+		return c.link.Charge(cclk.Now(), pcie.HostToDevice, int64(n)), nil
+	})
 	if err != nil {
 		return 0, 0, err
 	}
-	staging := make([]byte, len(dst))
-	n, err := c.readFull(cclk, f, staging, off)
-	if err != nil {
-		return 0, 0, err
-	}
-	copy(dst[:n], staging[:n])
-	done := c.link.Charge(cclk.Now(), pcie.HostToDevice, int64(n))
-	return n, done, nil
+	return got, done, nil
 }
 
 // WritePages DMAs len(src) bytes out of device memory and writes them to
 // the host file at off. The D2H transfer must complete before the file
-// write begins (the daemon needs the bytes), so the daemon's file access is
-// ordered after the DMA.
+// write begins (the daemon worker needs the bytes), so the worker's file
+// access is ordered after the DMA.
 func (c *Client) WritePages(blk *simtime.Clock, fd int64, off int64, src []byte) (int, error) {
 	var wrote int
 	err := c.invoke(blk, OpWritePages, func(cclk *simtime.Clock) (simtime.Time, error) {

@@ -1,0 +1,34 @@
+package rpc
+
+// The host service layer: the pool of daemon worker threads that drain
+// the request rings. The paper's GPUfs daemon runs multiple CPU threads,
+// each polling a subset of the per-GPU rings (§4.2); here each worker is
+// one simtime.Resource, and ring shard s is statically pinned to worker
+// s mod Workers. Static affinity keeps each ring's requests FIFO on one
+// host timeline (so single-shard behaviour is bit-identical to the old
+// single-daemon model) while distinct rings overlap in virtual time.
+
+import "gpufs/internal/simtime"
+
+// hostService owns the daemon worker pool shared by every GPU's rings.
+type hostService struct {
+	pool *simtime.WorkerPool
+}
+
+func newHostService(workers int) *hostService {
+	return &hostService{pool: simtime.NewWorkerPool("gpufs-cpu-daemon", workers)}
+}
+
+// workerFor returns the daemon worker that polls ring shard s.
+func (s *hostService) workerFor(shard int) *simtime.Resource {
+	return s.pool.Worker(shard)
+}
+
+// Workers reports the pool size.
+func (s *hostService) Workers() int { return s.pool.Size() }
+
+// Busy reports total busy virtual time summed over all workers.
+func (s *hostService) Busy() simtime.Duration { return s.pool.Busy() }
+
+// Reset clears all worker calendars for timing-isolated runs.
+func (s *hostService) Reset() { s.pool.Reset() }

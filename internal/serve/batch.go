@@ -163,6 +163,17 @@ func (s *Server) runBatch(g int, batch []*job) (retries []*job) {
 	if blocks > s.cfg.MaxBlocks {
 		blocks = s.cfg.MaxBlocks
 	}
+	// The round's blocks fan out across the GPU's RPC ring shards by the
+	// blocks' stable lane hash; record how wide this dispatch spreads.
+	lanes := make(map[int]bool, blocks)
+	for blockIdx := 0; blockIdx < blocks; blockIdx++ {
+		lanes[gpu.FS().Client().ShardFor(blockIdx)] = true
+	}
+	s.mu.Lock()
+	if len(lanes) > s.gstats[g].ShardLanes {
+		s.gstats[g].ShardLanes = len(lanes)
+	}
+	s.mu.Unlock()
 	end, lerr := gpu.Launch(start, blocks, s.cfg.ThreadsPerBlock, func(c *gpufs.BlockCtx) error {
 		for ji := c.Idx; ji < len(run); ji += blocks {
 			s.execJob(c, run[ji])

@@ -501,3 +501,51 @@ func TestServeVirtualDurationEstimate(t *testing.T) {
 		t.Fatalf("idle estimate below floor: %v", idle)
 	}
 }
+
+func TestServeShardLanesFanOut(t *testing.T) {
+	// On a sharded-transport system, one batch's blocks must hash across
+	// multiple RPC ring shards, and the stats must record the spread.
+	cfg := gpufs.ScaledConfig(testScale)
+	cfg.NumGPUs = 1
+	cfg.RPCShards = 4
+	cfg.DaemonWorkers = 4
+	sys, err := gpufs.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	dict := workloads.MakeDictionary(100)
+	paths := make([]string, 8)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/lanes/f%02d.txt", i)
+		text := workloads.MakeText(4<<10, workloads.TextSpec{
+			Dict: dict, DictFraction: 0.7, Seed: int64(2000 + i),
+		})
+		if err := sys.WriteHostFile(paths[i], text); err != nil {
+			t.Fatalf("WriteHostFile: %v", err)
+		}
+	}
+
+	srv := New(sys, Config{MaxBatch: 8})
+	futs := make([]*Future, len(paths))
+	for i, p := range paths {
+		fut, err := srv.Submit("tenant", Job{Kind: JobSearch, Path: p, Word: "aa"})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		futs[i] = fut
+	}
+	for _, fut := range futs {
+		if res := fut.Wait(); res.Err != nil {
+			t.Fatalf("job %d: %v", res.ID, res.Err)
+		}
+	}
+	srv.Drain()
+
+	st := srv.Stats()
+	if lanes := st.GPUs[0].ShardLanes; lanes < 2 {
+		t.Fatalf("ShardLanes = %d on a 4-shard transport, want >= 2", lanes)
+	}
+	if lanes := st.GPUs[0].ShardLanes; lanes > 4 {
+		t.Fatalf("ShardLanes = %d exceeds the shard count 4", lanes)
+	}
+}

@@ -36,6 +36,11 @@ type GPUStats struct {
 	Completed, Failed, AffinityHits int64
 	// Restarts counts fault-driven GPU.Restart recoveries.
 	Restarts int64
+	// ShardLanes is the largest number of distinct RPC ring shards one
+	// batch's blocks spanned on this device — how wide a dispatch round
+	// spread across the sharded host-service rings (1 with a single
+	// ring).
+	ShardLanes int
 }
 
 // Stats is a consistent snapshot of the server's counters.

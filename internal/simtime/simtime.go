@@ -332,6 +332,52 @@ func (p *Pool) Reset() {
 	}
 }
 
+// WorkerPool is a set of parallel serialized workers addressed by index.
+// Unlike Pool, the CALLER picks the member — for example by ring-shard
+// affinity — so work pinned to one worker keeps FIFO order on that worker's
+// timeline while distinct workers overlap in virtual time. The RPC host
+// service uses it to model the paper's parallel daemon threads (§4.2).
+type WorkerPool struct {
+	res []*Resource
+}
+
+// NewWorkerPool creates a pool of n indexed workers.
+func NewWorkerPool(name string, n int) *WorkerPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &WorkerPool{}
+	for i := 0; i < n; i++ {
+		p.res = append(p.res, NewResource(fmt.Sprintf("%s[%d]", name, i)))
+	}
+	return p
+}
+
+// Size reports the number of workers.
+func (p *WorkerPool) Size() int { return len(p.res) }
+
+// Worker returns member i mod Size, so any non-negative affinity key is a
+// valid index.
+func (p *WorkerPool) Worker(i int) *Resource {
+	return p.res[i%len(p.res)]
+}
+
+// Busy reports the total busy time summed across all workers.
+func (p *WorkerPool) Busy() Duration {
+	var total Duration
+	for _, r := range p.res {
+		total += r.Busy()
+	}
+	return total
+}
+
+// Reset returns every worker to idle.
+func (p *WorkerPool) Reset() {
+	for _, r := range p.res {
+		r.Reset()
+	}
+}
+
 // Meter tracks the maximum timestamp observed across many execution contexts;
 // the final value is the makespan of a simulated run.
 type Meter struct {

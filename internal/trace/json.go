@@ -47,6 +47,21 @@ func pid(gpu int) int {
 	return gpu + 1
 }
 
+// shardTIDBase offsets RPC-lane thread ids above any plausible threadblock
+// index, so per-shard lanes render as dedicated threads per process
+// without colliding with block timelines.
+const shardTIDBase = 1 << 10
+
+// tid maps an event to a trace thread id: shard-stamped events (RPC
+// retries, shard-attributed faults) land on a per-shard lane; everything
+// else stays on its threadblock's timeline.
+func tid(e Event) int {
+	if e.Shard > 0 {
+		return shardTIDBase + e.Shard - 1
+	}
+	return e.Block
+}
+
 // WriteJSON writes the retained events as Chrome trace_event JSON. The
 // snapshot is taken once; concurrent recording continues unaffected.
 func (t *Tracer) WriteJSON(w io.Writer) error {
@@ -75,14 +90,39 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		})
 	}
 
+	// Thread-name metadata for RPC shard lanes, one per (process, shard)
+	// that actually carries events.
+	seenShard := make(map[[2]int]bool)
+	for _, e := range events {
+		if e.Shard <= 0 {
+			continue
+		}
+		key := [2]int{e.GPU, e.Shard}
+		if seenShard[key] {
+			continue
+		}
+		seenShard[key] = true
+		doc.TraceEvents = append(doc.TraceEvents, jsonEvent{
+			Name:  "thread_name",
+			Cat:   "__metadata",
+			Phase: "M",
+			PID:   pid(e.GPU),
+			TID:   tid(e),
+			Args:  map[string]any{"name": fmt.Sprintf("rpc-shard-%d", e.Shard-1)},
+		})
+	}
+
 	for _, e := range events {
 		je := jsonEvent{
 			Name: e.Op.String(),
 			Cat:  "gpufs",
 			TS:   e.Start.Seconds() * 1e6,
 			PID:  pid(e.GPU),
-			TID:  e.Block,
+			TID:  tid(e),
 			Args: map[string]any{"seq": e.Seq},
+		}
+		if e.Shard > 0 {
+			je.Args["shard"] = e.Shard - 1
 		}
 		if e.Path != "" {
 			je.Args["path"] = e.Path

@@ -85,3 +85,57 @@ func TestServeOpNames(t *testing.T) {
 		t.Fatalf("serve op names: %v %v %v", OpEnqueue, OpBatch, OpDispatch)
 	}
 }
+
+func TestWriteJSONShardLanes(t *testing.T) {
+	// Ring-lane events (Shard > 0) land on their own thread rows, offset
+	// well above any block id, with a named "rpc-shard-N" lane and the
+	// zero-based shard recorded in args.
+	tr := New(16)
+	tr.Enable(true)
+	tr.Record(Event{GPU: 0, Block: 5, Shard: 2, Op: OpRetry, Path: "read",
+		Start: 10, End: 20})
+	tr.Record(Event{GPU: 0, Block: 5, Op: OpRead, Path: "/f", Bytes: 64,
+		Start: 30, End: 40})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var sawLaneName, sawRetry, sawRead bool
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			args := e["args"].(map[string]any)
+			if args["name"] == "rpc-shard-1" {
+				sawLaneName = true
+				if tid := e["tid"].(float64); tid != float64(shardTIDBase+1) {
+					t.Fatalf("shard lane tid = %v, want %d", tid, shardTIDBase+1)
+				}
+			}
+		}
+		switch e["name"] {
+		case "retry":
+			sawRetry = true
+			if tid := e["tid"].(float64); tid != float64(shardTIDBase+1) {
+				t.Fatalf("retry event tid = %v, want shard lane %d", tid, shardTIDBase+1)
+			}
+			if shard := e["args"].(map[string]any)["shard"].(float64); shard != 1 {
+				t.Fatalf("retry args shard = %v, want 1", shard)
+			}
+		case "gread":
+			sawRead = true
+			if tid := e["tid"].(float64); tid != 5 {
+				t.Fatalf("block event tid = %v, want 5", tid)
+			}
+		}
+	}
+	if !sawLaneName || !sawRetry || !sawRead {
+		t.Fatalf("missing events: laneName=%v retry=%v read=%v", sawLaneName, sawRetry, sawRead)
+	}
+}

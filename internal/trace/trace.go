@@ -73,6 +73,10 @@ type Event struct {
 	Seq uint64
 	// GPU and Block locate the caller.
 	GPU, Block int
+	// Shard is the RPC ring shard the event belongs to, 1-based; zero
+	// means the event is not tied to a ring lane. Trace exports render
+	// shard-stamped events on dedicated per-shard threads.
+	Shard int
 	// Op is the operation.
 	Op Op
 	// Path is the file operated on (empty for ops without one).
