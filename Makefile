@@ -12,10 +12,13 @@
 #   soak       — the serving-layer soak (internal/serve): 1,000+ jobs from
 #                8 tenants over 2 GPUs, race-enabled, fixed seeds; also
 #                the fault and GPU-restart variants.
+#   bench-smoke — the Readahead policy experiment at 1/256 scale, one
+#                rep: a seconds-long CI check that the bench harness and
+#                the adaptive read-ahead engine still run end to end.
 
 GO ?= go
 
-.PHONY: tier1 tier2 fuzz-smoke stress bench soak
+.PHONY: tier1 tier2 fuzz-smoke stress bench bench-smoke soak
 
 tier1:
 	$(GO) build ./...
@@ -38,3 +41,6 @@ soak:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench-smoke:
+	$(GO) run ./cmd/gpufs-bench -exp readahead -scale 0.00390625 -reps 1

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0/32, "uniform scale factor for capacities and input sizes")
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, ablation, serve, daemon")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, readahead, ablation, serve, daemon")
 	reps := flag.Int("reps", 3, "runs averaged per measured cell (the paper averages 5)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable NDJSON (one object per table row) instead of text tables")
 	flag.Parse()
@@ -34,17 +34,18 @@ func main() {
 	bench.SetReps(*reps)
 
 	runners := map[string]func(float64) (*bench.Table, error){
-		"fig4":     bench.Fig4,
-		"fig5":     bench.Fig5,
-		"fig6":     bench.Fig6,
-		"fig7":     bench.Fig7,
-		"fig8":     bench.Fig8,
-		"table2":   bench.Table2,
-		"table3":   bench.Table3,
-		"table4":   bench.Table4,
-		"ablation": bench.Ablation,
-		"serve":    bench.Serve,
-		"daemon":   bench.DaemonScaling,
+		"fig4":      bench.Fig4,
+		"fig5":      bench.Fig5,
+		"fig6":      bench.Fig6,
+		"fig7":      bench.Fig7,
+		"fig8":      bench.Fig8,
+		"table2":    bench.Table2,
+		"table3":    bench.Table3,
+		"table4":    bench.Table4,
+		"readahead": bench.Readahead,
+		"ablation":  bench.Ablation,
+		"serve":     bench.Serve,
+		"daemon":    bench.DaemonScaling,
 	}
 
 	if !*jsonOut {

@@ -185,6 +185,8 @@ func NewSystem(cfg Config) (*System, error) {
 			RadixLookupLocked:    cfg.RadixLookupLocked,
 			ForceLockedTraversal: cfg.ForceLockedTraversal,
 			ReadAheadPages:       cfg.ReadAheadPages,
+			ReadAheadAdaptive:    cfg.ReadAheadAdaptive,
+			CleanerWorkers:       cfg.CleanerWorkers,
 			DisableFastReopen:    cfg.DisableFastReopen,
 		}, client, dev.Mem)
 		if err != nil {

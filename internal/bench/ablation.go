@@ -185,11 +185,15 @@ func ablateFastReopen(scale float64, t *Table) error {
 	return nil
 }
 
-// seqSystemRA is seqSystem plus a read-ahead setting.
+// seqSystemRA is seqSystem plus a read-ahead setting. The adaptive engine
+// and the cleaner are pinned off so the greedy window under test (ra) is
+// the only speculation in play — PR-3 behavior, bit for bit.
 func seqSystemRA(scale float64, pageSize, fileBytes int64, ra int) (*gpufs.System, error) {
 	cfg := gpufs.ScaledConfig(scale)
 	cfg.PageSize = pageSize
 	cfg.ReadAheadPages = ra
+	cfg.ReadAheadAdaptive = false
+	cfg.CleanerWorkers = 0
 	need := fileBytes + 16*pageSize
 	if cfg.BufferCacheBytes < need {
 		cfg.BufferCacheBytes = need

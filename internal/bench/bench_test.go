@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -135,6 +136,45 @@ func TestAblationShapeTiny(t *testing.T) {
 	last := tb.Rows[len(tb.Rows)-1]
 	if !strings.Contains(last[3], "slower without") {
 		t.Fatalf("fast-reopen row: %v", last)
+	}
+}
+
+// TestReadaheadShapeTiny checks the read-ahead policy table's directional
+// claims: adaptive wins sequential streams outright (coalescing), matches
+// the detector to strides greedy cannot follow, and issues nothing on
+// random reads where greedy's fixed window is mostly waste.
+func TestReadaheadShapeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness in -short mode")
+	}
+	tb, err := Readahead(1.0 / 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("readahead rows: %d", len(tb.Rows))
+	}
+	usedPct := func(cell string) float64 {
+		var issued int64
+		var pct float64
+		if _, err := fmt.Sscanf(cell, "%d (%f%%)", &issued, &pct); err != nil {
+			t.Fatalf("prefetch cell %q: %v", cell, err)
+		}
+		return pct
+	}
+	seq, stride, random := tb.Rows[0], tb.Rows[1], tb.Rows[2]
+	// Sequential: coalesced speculation must clearly beat no read-ahead.
+	if ad, off := numericCell(t, seq[1]), numericCell(t, seq[3]); ad < 1.5*off {
+		t.Fatalf("sequential adaptive %v not >1.5x off %v", ad, off)
+	}
+	// Strided: the detector's hit rate must beat the greedy window's (which
+	// fetches the skipped pages for nothing).
+	if ap, gp := usedPct(stride[4]), usedPct(stride[5]); ap <= gp {
+		t.Fatalf("stride adaptive used%% %v not above greedy %v", ap, gp)
+	}
+	// Random: the confidence gate keeps the detector silent.
+	if issued := numericCell(t, random[4]); issued != 0 {
+		t.Fatalf("random adaptive speculated %v pages", issued)
 	}
 }
 

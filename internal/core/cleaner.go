@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"gpufs/internal/core/radix"
+	"gpufs/internal/rpc"
+	"gpufs/internal/simtime"
+	"gpufs/internal/trace"
+)
+
+// The background writeback cleaner (ISSUE 4). The original design has no
+// daemon threads on the GPU side: paging hijacks the faulting threadblock
+// (§4.2), so every dirty victim costs that block a synchronous RPC write.
+// The cleaner takes that work off the fault critical path: when a demand
+// fault finds the free pool below a low watermark, it kicks an idle
+// cleaner lane, which runs on its OWN virtual clock and RPC lane — the
+// GPU System Calls paper's non-blocking issue discipline — writing back
+// cold dirty pages of open files (clean in place, stay resident) and
+// pre-evicting closed-file frames (the §4.2 policy's cheapest victims)
+// until the pool recovers to a high watermark. Eviction by the faulting
+// block then mostly finds clean frames and never blocks on RPC writes.
+//
+// Failure semantics are unchanged from eviction-driven write-back: a
+// failed write records the file's sticky deferred error
+// (fileCache.recordWriteErr), surfaced at the next gfsync or final gclose,
+// and the page stays resident and dirty so no data is lost. The
+// claim/detach protocol is reused verbatim through evictFromFileOn and the
+// FPage TryRef/TryEvict state machine.
+
+// cleanerLaneBase offsets cleaner lane ids past any plausible threadblock
+// index, so cleaner RPC traffic hashes onto ring shards independently of
+// the blocks it is cleaning for.
+const cleanerLaneBase = 1 << 20
+
+// maxCleanPerPass bounds how many open-file dirty pages one cleaner
+// wake-up writes back, so a kick under heavy write load cannot monopolize
+// the daemon workers for unbounded (virtual) time.
+const maxCleanPerPass = 64
+
+type cleaner struct {
+	lanes []*cleanLane
+	// low and high are the free-frame watermarks: a demand fault below
+	// low kicks a lane; a pass stops pre-evicting at high.
+	low  int
+	high int
+}
+
+type cleanLane struct {
+	id   int
+	busy atomic.Bool
+	clk  *simtime.Clock
+	lane *rpc.Client
+}
+
+func newCleaner(fs *FS, workers int) *cleaner {
+	n := fs.cache.NumFrames()
+	low := n / 4
+	if low < 2 {
+		low = 2
+	}
+	high := n / 2
+	if high <= low {
+		high = low + 1
+	}
+	c := &cleaner{low: low, high: high}
+	for i := 0; i < workers; i++ {
+		c.lanes = append(c.lanes, &cleanLane{
+			id:   i,
+			clk:  simtime.NewClock(0),
+			lane: fs.client.Bind(cleanerLaneBase + i),
+		})
+	}
+	return c
+}
+
+// maybeClean is the demand-fault hook: when the free pool is below the
+// low watermark it runs a cleaning pass on an idle lane's clock. The
+// faulting block pays nothing but this check — the pass advances the
+// lane's timeline, not the block's, which is what makes the cleaning
+// asynchronous in virtual time. With no cleaner configured this is a nil
+// check.
+func (fs *FS) maybeClean(now simtime.Time) {
+	c := fs.cleaner
+	if c == nil {
+		return
+	}
+	if fs.cache.FreeFrames() >= c.low {
+		return
+	}
+	for _, ln := range c.lanes {
+		if ln.busy.CompareAndSwap(false, true) {
+			fs.cleanerKicks.Add(1)
+			// The lane cannot act before the kick that woke it.
+			if ln.clk.Now() < now {
+				ln.clk.AdvanceTo(now)
+			}
+			fs.runCleanerPass(ln)
+			ln.busy.Store(false)
+			return
+		}
+	}
+	// Every lane busy: the pool is under pressure but cleaning is already
+	// in progress; the fault falls through to the normal paging path.
+}
+
+// runCleanerPass walks the victim files in the same priority order as
+// eviction: closed files are pre-evicted outright (dirty pages written
+// back through the retained descriptor, frames freed), open files have
+// their cold dirty pages cleaned in place so a later eviction finds them
+// clean.
+func (fs *FS) runCleanerPass(ln *cleanLane) {
+	c := fs.cleaner
+	start := ln.clk.Now()
+	a := evictActor{
+		lane:  ln.lane,
+		clk:   ln.clk,
+		busy:  func(d simtime.Duration) { ln.clk.Advance(d) },
+		block: -1 - ln.id,
+	}
+	evicted := 0
+	cleaned := 0
+
+	for _, v := range fs.pickVictims() {
+		free := fs.cache.FreeFrames()
+		if free >= c.high && v.class == 0 {
+			continue // pool recovered: no need to pre-evict more
+		}
+		if v.class == 0 {
+			// Dirty-only: clean frames of a closed file are cheap for a
+			// faulting block to reclaim and may yet be re-hit by a reopen.
+			evicted += fs.evictFromFileOn(a, v, c.high-free, true)
+			continue
+		}
+		if cleaned < maxCleanPerPass {
+			cleaned += fs.cleanFileOn(a, v, maxCleanPerPass-cleaned)
+		}
+	}
+	if evicted+cleaned > 0 {
+		fs.cleanedPages.Add(int64(evicted + cleaned))
+		fs.recordAt(a.block, trace.OpClean, "", 0,
+			int64(evicted+cleaned)*fs.opt.PageSize, start, ln.clk.Now(), nil)
+	}
+}
+
+// cleanFileOn writes back up to max dirty, unreferenced pages of v
+// without evicting them. Failures record the file's deferred write error
+// (POSIX errseq semantics — identical to eviction-driven write-back) and
+// leave the page dirty and resident.
+func (fs *FS) cleanFileOn(a evictActor, v victim, max int) int {
+	if max <= 0 || v.hostFd == 0 {
+		return 0
+	}
+	fc := v.fc
+	cleaned := 0
+	wrote := false
+	fc.tree.ForEachReadyPage(func(_ uint64, p *radix.FPage) bool {
+		if cleaned >= max {
+			return false
+		}
+		if p.Refs() > 0 {
+			return true // hot: mapped or mid-access
+		}
+		if !p.TryRef() {
+			return true
+		}
+		fi := p.Frame()
+		if fi < 0 {
+			p.Unref()
+			return true
+		}
+		fr := fs.cache.Frame(fi)
+		if fr.FileID.Load() != fc.tree.ID() || !fr.Dirty.Load() {
+			p.Unref()
+			return true
+		}
+		if err := fs.writeBackFrameOn(a.lane, a.clk, v.hostFd, fr); err != nil {
+			fc.recordWriteErr(err)
+		} else {
+			wrote = true
+			cleaned++
+			a.busy(fs.opt.APICostPerPage)
+		}
+		p.Unref()
+		return true
+	})
+	if wrote {
+		fs.refreshGenerationOn(a.lane, a.clk, fc, v.hostFd)
+	}
+	return cleaned
+}

@@ -158,6 +158,13 @@ func runFaultStress(t *testing.T, seed int64, shards, workers int, totalInjected
 
 	opt := defaultOpt()
 	opt.CacheBytes = 6 * opt.PageSize // constant eviction pressure
+	// The adaptive read-ahead engine and the background cleaner run hot in
+	// this suite on purpose: speculation racing demand faults through a
+	// 6-frame pool, and cleaner write-backs racing injected write errors,
+	// are exactly the interleavings that bend the claim/detach and
+	// deferred-error protocols.
+	opt.ReadAheadAdaptive = true
+	opt.CleanerWorkers = 1
 	h := newFaultHarness(t, opt, fcfg, shards, workers)
 	fs := h.fss[0]
 	defer func() { totalInjected.Add(h.inj.TotalInjected()) }()

@@ -83,6 +83,22 @@ type Options struct {
 	// the paper notes a GPU buffer cache enables (§3.3). The prototype
 	// ships with it off; the ablation bench quantifies it.
 	ReadAheadPages int
+	// ReadAheadAdaptive replaces the greedy window with the per-open-file
+	// pattern detector of ISSUE 4: sequential or strided access streaks
+	// ramp a speculation window up Linux-style (and wasted prefetch
+	// shrinks it), stride-1 windows coalesce into multi-page RPCs, and
+	// random access speculates nothing. Takes precedence over
+	// ReadAheadPages; false restores the greedy (or no) read-ahead path
+	// bit-identically.
+	ReadAheadAdaptive bool
+	// CleanerWorkers is the number of background writeback-cleaner lanes.
+	// When the free-frame pool drops below the low watermark, a demand
+	// fault kicks an idle lane, which — on its own virtual clock, so the
+	// faulting threadblock pays nothing — writes back cold dirty pages and
+	// pre-evicts closed-file frames until the high watermark. 0 disables
+	// the cleaner (all write-back happens synchronously under eviction,
+	// as before ISSUE 4).
+	CleanerWorkers int
 	// DisableFastReopen forces every gopen to take the full host-RPC
 	// path even when the closed file table holds a valid cache
 	// (ablation: the cost of the closed-table optimization of §4.1).
@@ -121,6 +137,26 @@ type FS struct {
 	hostOpens    atomic.Int64
 	closedReuses atomic.Int64
 
+	// Speculation and cleaning accounting (ISSUE 4): pages issued by
+	// read-ahead, pages consumed by a later demand access, pages
+	// reclaimed unconsumed, pages the background cleaner made clean or
+	// free, and cleaner wake-ups.
+	prefetchIssued atomic.Int64
+	prefetchUsed   atomic.Int64
+	prefetchWasted atomic.Int64
+	cleanedPages   atomic.Int64
+	cleanerKicks   atomic.Int64
+
+	// specPending gauges speculative pages currently in the cache that no
+	// demand access has consumed yet. The adaptive engine caps it at a
+	// quarter of the frame pool, so speculation can never thrash resident
+	// demand data out of a tight cache.
+	specPending atomic.Int64
+
+	// cleaner is the background writeback engine; nil when
+	// Options.CleanerWorkers is 0.
+	cleaner *cleaner
+
 	// tracer, when non-nil and enabled, records every API call.
 	tracer *trace.Tracer
 }
@@ -145,6 +181,12 @@ type file struct {
 	// into one host open; waiters block on ready.
 	ready chan struct{}
 	err   error
+
+	// ra are the adaptive read-ahead detector slots: threadblocks hash by
+	// index, so each slot sees one (or a few) blocks' access stream
+	// rather than the chaotic interleaving of all of them — the reason
+	// the paper dismissed per-file stride detection (§3.3).
+	ra [raStreams]raStream
 }
 
 // fileCache is a file's GPU-resident cache state. It survives gclose in the
@@ -180,6 +222,12 @@ type fileCache struct {
 	// lastFlags records the flags of the retired open, so a reopen with
 	// identical flags can take the fast path.
 	lastFlags int
+
+	// prefetchUsed and prefetchWasted count this file's speculative pages
+	// consumed by a demand access versus reclaimed unconsumed; the
+	// adaptive read-ahead window uses the ratio as its feedback signal.
+	prefetchUsed   atomic.Int64
+	prefetchWasted atomic.Int64
 
 	// wbErr is the sticky asynchronous write-back error (POSIX errseq_t
 	// semantics): when eviction-driven write-back fails, the error is
@@ -222,7 +270,7 @@ func New(gpuID int, opt Options, client *rpc.Client, mem *memsys.Arena) (*FS, er
 	if err != nil {
 		return nil, err
 	}
-	return &FS{
+	fs := &FS{
 		gpuID:        gpuID,
 		opt:          opt,
 		client:       client,
@@ -231,7 +279,11 @@ func New(gpuID int, opt Options, client *rpc.Client, mem *memsys.Arena) (*FS, er
 		closed:       make(map[int64]*fileCache),
 		closedByPath: make(map[string]int64),
 		truncated:    make(map[string]bool),
-	}, nil
+	}
+	if opt.CleanerWorkers > 0 {
+		fs.cleaner = newCleaner(fs, opt.CleanerWorkers)
+	}
+	return fs, nil
 }
 
 // GPUID reports the owning GPU's index.
@@ -582,7 +634,9 @@ func (fs *FS) discardCache(b *gpu.Block, fc *fileCache) {
 			runtime.Gosched()
 		}
 		if fi := p.Frame(); fi >= 0 {
-			fs.cache.Release(fs.cache.Frame(fi), false)
+			fr := fs.cache.Frame(fi)
+			fs.noteSpecDrop(fc, fr)
+			fs.cache.Release(fr, false)
 			fc.frames.Add(-1)
 		}
 		p.FinishEvict()
@@ -641,6 +695,47 @@ type Stats struct {
 	RPCTimeouts int64
 	// FaultsInjected is the machine-wide injected-fault total.
 	FaultsInjected int64
+}
+
+// noteSpecDrop records a speculative page leaving the cache before any
+// demand access consumed it — wasted prefetch, the adaptive window's
+// shrink signal. Reports whether the page was indeed unconsumed.
+func (fs *FS) noteSpecDrop(fc *fileCache, fr *pcache.Frame) bool {
+	if fr.Spec.Swap(pcache.SpecNone) == pcache.SpecPending {
+		fs.prefetchWasted.Add(1)
+		fc.prefetchWasted.Add(1)
+		fs.specPending.Add(-1)
+		return true
+	}
+	return false
+}
+
+// CacheStats are the speculation and cleaning counters of ISSUE 4,
+// surfaced per GPU by the serving layer next to its affinity hit rate.
+type CacheStats struct {
+	// PrefetchIssued counts pages issued speculatively by read-ahead
+	// (adaptive or greedy). Multi-page gread batching is NOT counted:
+	// those pages are known-needed pipelining, not a guess.
+	PrefetchIssued int64
+	// PrefetchUsed counts speculative pages later consumed by a demand
+	// access; PrefetchWasted counts those reclaimed unconsumed.
+	PrefetchUsed   int64
+	PrefetchWasted int64
+	// CleanedPages counts pages the background cleaner wrote back or
+	// pre-evicted; CleanerKicks counts cleaner wake-ups.
+	CleanedPages int64
+	CleanerKicks int64
+}
+
+// CacheStats snapshots the speculation and cleaning counters.
+func (fs *FS) CacheStats() CacheStats {
+	return CacheStats{
+		PrefetchIssued: fs.prefetchIssued.Load(),
+		PrefetchUsed:   fs.prefetchUsed.Load(),
+		PrefetchWasted: fs.prefetchWasted.Load(),
+		CleanedPages:   fs.cleanedPages.Load(),
+		CleanerKicks:   fs.cleanerKicks.Load(),
+	}
 }
 
 // Snapshot gathers current statistics.
@@ -719,7 +814,9 @@ func (fs *FS) dropCacheNoWriteback(fc *fileCache) {
 			runtime.Gosched()
 		}
 		if fi := p.Frame(); fi >= 0 {
-			fs.cache.Release(fs.cache.Frame(fi), false)
+			fr := fs.cache.Frame(fi)
+			fs.noteSpecDrop(fc, fr)
+			fs.cache.Release(fr, false)
 			fc.frames.Add(-1)
 		}
 		p.FinishEvict()

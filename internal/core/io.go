@@ -67,6 +67,14 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 					// for by the faulting block.
 					if fr.Prefetched.Load() {
 						b.Clock.AdvanceTo(simtime.Time(fr.ReadyAt.Load()))
+						// First demand consumer claims the
+						// speculation as a hit (the adaptive
+						// window's ramp-up signal).
+						if fr.Spec.CompareAndSwap(pcache.SpecPending, pcache.SpecUsed) {
+							fs.prefetchUsed.Add(1)
+							fc.prefetchUsed.Add(1)
+							fs.specPending.Add(-1)
+						}
 					}
 					return pageRef{fr: fr, fp: fp}, nil
 				}
@@ -206,7 +214,9 @@ func (fs *FS) readImpl(b *gpu.Block, fd int, dst []byte, off int64) (int, error)
 	if lastPage > firstPage && !f.writeOnce {
 		budget := fs.fetchBudget()
 		for pageIdx := firstPage + 1; pageIdx <= lastPage && budget > 0; pageIdx++ {
-			fs.prefetchPage(b, f, pageIdx)
+			// spec=false: these pages are known-needed by this very read,
+			// not speculation — they stay out of the prefetch counters.
+			fs.prefetchPage(b, f, pageIdx, false)
 			budget--
 		}
 	}
@@ -231,7 +241,9 @@ func (fs *FS) readImpl(b *gpu.Block, fd int, dst []byte, off int64) (int, error)
 		ref.release()
 		done += n
 	}
-	if fs.opt.ReadAheadPages > 0 {
+	if fs.opt.ReadAheadAdaptive {
+		fs.adaptiveReadAhead(b, f, firstPage, (off+done-1)/ps)
+	} else if fs.opt.ReadAheadPages > 0 {
 		fs.readAhead(b, f, (off+done-1)/ps+1)
 	}
 	return int(done), nil

@@ -68,6 +68,7 @@ func (fs *FS) ftruncateImpl(b *gpu.Block, fd int, size int64) error {
 			fr := fs.cache.Frame(fi)
 			if pageOff >= size {
 				// Wholly beyond the new end: reclaim.
+				fs.noteSpecDrop(fc, fr)
 				fs.cache.Release(fr, false)
 				fc.frames.Add(-1)
 				p.FinishEvict()

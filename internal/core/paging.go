@@ -8,6 +8,8 @@ import (
 	"gpufs/internal/core/pcache"
 	"gpufs/internal/core/radix"
 	"gpufs/internal/gpu"
+	"gpufs/internal/rpc"
+	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
 )
 
@@ -36,6 +38,10 @@ func (fs *FS) fetchBudget() int {
 // (§4.2), unlike clock-style algorithms.
 func (fs *FS) allocFrame(b *gpu.Block, fc *fileCache, offset int64) (*pcache.Frame, error) {
 	const maxIdleRounds = 4096
+	// With a background cleaner configured, a drained pool kicks it here
+	// — off the block's clock — so by the time pressure forces eviction
+	// below, the victims are usually already clean (or already free).
+	fs.maybeClean(b.Clock.Now())
 	lastAllocs := fs.cache.Allocs()
 	for idle := 0; idle < maxIdleRounds; {
 		if fr := fs.cache.TryAlloc(fc.tree.ID(), offset); fr != nil {
@@ -142,16 +148,56 @@ func (fs *FS) evictPages(b *gpu.Block, target int) int {
 	return reclaimed
 }
 
+// evictActor abstracts who runs reclamation: a faulting threadblock (its
+// clock, MP, and home ring shard) or a background cleaner lane (its own
+// clock; per-page bookkeeping advances it directly since no MP is
+// occupied).
+type evictActor struct {
+	lane  *rpc.Client
+	clk   *simtime.Clock
+	busy  func(simtime.Duration)
+	block int // trace attribution; negative for cleaner lanes
+}
+
+func (fs *FS) actorFor(b *gpu.Block) evictActor {
+	return evictActor{lane: fs.lane(b), clk: b.Clock, busy: b.Busy, block: b.Idx}
+}
+
 func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) int {
-	start := b.Clock.Now()
+	return fs.evictFromFileOn(fs.actorFor(b), v, target, false)
+}
+
+// evictFromFileOn reclaims up to target pages from v on behalf of actor a.
+// With dirtyOnly set (the cleaner's pre-eviction mode) clean frames are
+// left resident: evicting a clean frame costs a faulting block no RPC, so
+// pre-evicting it early only destroys cache that a reopen would still hit —
+// the cleaner's win is taking the write-back, not the release, off the
+// critical path.
+func (fs *FS) evictFromFileOn(a evictActor, v victim, target int, dirtyOnly bool) int {
+	start := a.clk.Now()
 	fc := v.fc
 	reclaimed := 0
+	wasted := 0
 	wroteBack := false
 
 	// Bound the traversal: we look at enough leaves to cover the target
-	// plus slack for referenced pages.
-	maxLeaves := target/16 + 8
-	for _, leaf := range fc.tree.OldestLeaves(maxLeaves) {
+	// plus slack for referenced pages. Leaves hold 64 slots each, so
+	// target/64 rounded up covers the target even when every leaf is
+	// full; the +8 is slack for sparse or referenced leaves. The bound is
+	// advisory, not absolute: if the oldest leaves are entirely hot or
+	// mid-claim (every slot referenced or initializing), a hard cutoff
+	// would reclaim nothing forever while evictable pages sit in younger
+	// leaves — the faulting block would spin to a spurious ErrCacheFull.
+	// So the scan runs deeper until it frees at least one page. The
+	// cleaner's dirty-only passes keep the hard bound instead: they may
+	// legitimately find nothing to do, and demand eviction follows anyway.
+	maxLeaves := target/64 + 8
+	scanned := 0
+	for _, leaf := range fc.tree.OldestLeaves(1 << 20) {
+		if scanned >= maxLeaves && (reclaimed > 0 || dirtyOnly) {
+			break
+		}
+		scanned++
 		live := 0
 		for i := 0; i < 64 && reclaimed < target; i++ {
 			fp := leaf.Page(i)
@@ -171,6 +217,12 @@ func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) int {
 				continue
 			}
 			fr := fs.cache.Frame(fi)
+			if dirtyOnly && !fr.Dirty.Load() {
+				fp.FinishInit(fi)
+				fp.Unref()
+				live++
+				continue
+			}
 			if fr.Dirty.Load() {
 				if v.hostFd == 0 {
 					// No descriptor to write through — put the
@@ -180,7 +232,7 @@ func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) int {
 					live++
 					continue
 				}
-				if err := fs.writeBackFrame(b, v.hostFd, fr); err != nil {
+				if err := fs.writeBackFrameOn(a.lane, a.clk, v.hostFd, fr); err != nil {
 					// Keep the page (still dirty) and move on; the
 					// owner learns of the failure at its next sync.
 					fc.recordWriteErr(err)
@@ -191,10 +243,13 @@ func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) int {
 				}
 				wroteBack = true
 			}
+			if fs.noteSpecDrop(fc, fr) {
+				wasted++
+			}
 			fs.cache.Release(fr, true)
 			fc.frames.Add(-1)
 			fp.FinishEvict()
-			b.Busy(fs.opt.APICostPerPage)
+			a.busy(fs.opt.APICostPerPage)
 			reclaimed++
 		}
 		if live == 0 && leafEmpty(leaf) {
@@ -206,10 +261,13 @@ func (fs *FS) evictFromFile(b *gpu.Block, v victim, target int) int {
 	}
 
 	if wroteBack {
-		fs.refreshGeneration(b, fc, v.hostFd)
+		fs.refreshGenerationOn(a.lane, a.clk, fc, v.hostFd)
 	}
 	if reclaimed > 0 {
-		fs.record(b, trace.OpEvict, fc.path, 0, int64(reclaimed)*fs.opt.PageSize, start, nil)
+		fs.recordAt(a.block, trace.OpEvict, fc.path, 0, int64(reclaimed)*fs.opt.PageSize, start, a.clk.Now(), nil)
+	}
+	if wasted > 0 {
+		fs.recordAt(a.block, trace.OpPrefetchWaste, fc.path, 0, int64(wasted)*fs.opt.PageSize, start, a.clk.Now(), nil)
 	}
 	return reclaimed
 }

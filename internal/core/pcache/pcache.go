@@ -20,6 +20,13 @@ import (
 	"gpufs/internal/memsys"
 )
 
+// Speculation states for Frame.Spec.
+const (
+	SpecNone    int32 = iota // demand-faulted (or free) frame
+	SpecPending              // prefetched, no consumer has claimed it yet
+	SpecUsed                 // prefetched and consumed by a demand access
+)
+
 // Frame is a pframe: metadata for one buffer-cache page.
 type Frame struct {
 	// Index is the frame's position in the raw data array.
@@ -50,6 +57,13 @@ type Frame struct {
 	// same virtual-order idealization the block scheduler uses).
 	ReadyAt    atomic.Int64
 	Prefetched atomic.Bool
+	// Spec tracks speculative-read accounting separately from Prefetched
+	// (which must survive consumption so every later consumer still waits
+	// for ReadyAt): SpecNone for demand-faulted frames, SpecPending from
+	// prefetch issue until the first consumer claims the transfer as a
+	// hit, SpecUsed after. A frame reclaimed while still SpecPending was
+	// wasted speculation.
+	Spec atomic.Int32
 
 	// mu guards pristine and serializes data-plane access to the page
 	// (writers versus the write-back differ), so concurrent gwrite and
@@ -222,6 +236,7 @@ func (c *Cache) TryAlloc(fileID uint64, offset int64) *Frame {
 	f.WriteOnce.Store(false)
 	f.ReadyAt.Store(0)
 	f.Prefetched.Store(false)
+	f.Spec.Store(SpecNone)
 	f.ClearPristine()
 	c.allocs.Add(1)
 	return f
@@ -235,6 +250,7 @@ func (c *Cache) ResetTimes() {
 	for i := range c.frames {
 		c.frames[i].ReadyAt.Store(0)
 		c.frames[i].Prefetched.Store(false)
+		c.frames[i].Spec.Store(SpecNone)
 	}
 }
 

@@ -1,22 +1,99 @@
 package core
 
 import (
+	"sync"
+
+	"gpufs/internal/core/pcache"
+	"gpufs/internal/core/radix"
 	"gpufs/internal/gpu"
+	"gpufs/internal/simtime"
+	"gpufs/internal/trace"
 )
+
+// Read-ahead comes in two flavors (§3.3 lists read-ahead among the
+// optimizations a GPU buffer cache enables):
+//
+//   - readAhead is the original greedy window: Options.ReadAheadPages
+//     pages past every gread, unconditionally. Sequential greads gain;
+//     random greads pay for unused transfers (the ablation bench
+//     quantifies the trade). The paper's justification for greed — GPU
+//     access patterns look chaotic because of non-deterministic block
+//     scheduling — is what the adaptive engine below works around.
+//   - adaptiveReadAhead (ISSUE 4) hashes threadblocks onto per-open-file
+//     detector slots, so each slot observes one block's access stream in
+//     isolation. A slot speculates only after two accesses confirm a
+//     stride, ramps its window up Linux-style while the streak holds,
+//     shrinks it when the file's wasted-prefetch counter overtakes its
+//     used counter, and — for stride-1 runs — coalesces the whole window
+//     into multi-page RPCs, amortizing per-transaction PCIe latency at
+//     small page sizes.
+
+// Adaptive read-ahead parameters.
+const (
+	// raStreams is the number of detector slots per open file;
+	// threadblocks hash onto slots by index. A power of two.
+	raStreams = 32
+	// raInitWindow is the speculation depth (in strides) granted when a
+	// pattern is first confirmed; raMaxWindow is the ramp-up ceiling.
+	raInitWindow = 4
+	raMaxWindow  = 32
+	// raRampStreak is the streak length at which the window starts
+	// doubling toward raMaxWindow.
+	raRampStreak = 4
+	// maxRAStride is the largest page stride treated as a pattern;
+	// beyond it the stream is considered random and nothing is
+	// speculated.
+	maxRAStride = 64
+	// probeCostShift scales the per-page cost of probing a speculative
+	// candidate that turns out to be resident (or claimed):
+	// APICostPerPage >> probeCostShift. The skip path is a few metadata
+	// loads, far cheaper than frame initialization.
+	probeCostShift = 3
+	// raMaxSpanBytes bounds one coalesced vectored RPC (the daemon stages
+	// the whole span contiguously, so unbounded spans would model
+	// arbitrarily large single transfers and erase the per-transaction
+	// cost that separates Figure 4's page sizes). Linux similarly clamps a
+	// single read-ahead I/O; the window can still be deeper than one span
+	// — it just pipelines as several in-flight RPCs.
+	raMaxSpanBytes = 32 << 10
+	// raMaxWindowBytes caps the window in BYTES, like Linux's read-ahead
+	// (which ramps toward a byte budget, not a page count). Small pages
+	// coalesce, so a deep window is nearly free and the full raMaxWindow
+	// applies; at page sizes past raMaxSpanBytes every speculated page is
+	// its own RPC and a deep window just burns the block's API time —
+	// 512K of in-flight speculation is already plenty to hide the host
+	// round trip.
+	raMaxWindowBytes = 512 << 10
+)
+
+// raStream is one adaptive read-ahead detector slot: the access history
+// and speculation window of (approximately) one threadblock's stream over
+// one open file.
+type raStream struct {
+	mu       sync.Mutex
+	seen     bool  // lastPage is meaningful
+	lastPage int64 // last page index this stream accessed
+	stride   int64 // page delta of the current run
+	streak   int   // consecutive accesses matching stride
+	window   int   // speculation depth, in strides
+	// nextPf is the speculation frontier — the first page of the pattern
+	// not yet issued — valid when frontierOK. It keeps overlapping
+	// windows from re-probing pages already in flight.
+	nextPf     int64
+	frontierOK bool
+}
+
+// probeCost is the virtual cost of one resident-page probe in a
+// read-ahead loop (satellite: skips are charged too, not just launches).
+func (fs *FS) probeCost() simtime.Duration {
+	return fs.opt.APICostPerPage >> probeCostShift
+}
 
 // readAhead prefetches up to Options.ReadAheadPages pages starting at
 // firstPage, asynchronously: each prefetched page's RPC is enqueued at the
 // block's current time but the block does not wait — the page's frame
 // records the transfer's virtual completion, which any later consumer
-// observes through Frame.ReadyAt. This is the buffer-cache read-ahead the
-// paper lists among the optimizations a GPU buffer cache enables (§3.3).
-//
-// Read-ahead is greedy (no sequentiality detector): the paper observes
-// that GPU access patterns look chaotic even for logically sequential
-// workloads because of non-deterministic block scheduling, so per-file
-// stride detection would rarely trigger. The ablation benchmark shows the
-// resulting trade: sequential greads gain, random greads pay for unused
-// transfers.
+// observes through Frame.ReadyAt.
 func (fs *FS) readAhead(b *gpu.Block, f *file, firstPage int64) {
 	if f.writeOnce || !f.readable {
 		return
@@ -29,22 +106,192 @@ func (fs *FS) readAhead(b *gpu.Block, f *file, firstPage int64) {
 		if pageIdx > lastPage {
 			return
 		}
-		fs.prefetchPage(b, f, pageIdx)
+		if !fs.prefetchPage(b, f, pageIdx, true) {
+			b.Busy(fs.probeCost())
+		}
+	}
+}
+
+// adaptiveReadAhead is the per-access hook of the adaptive engine: the
+// calling block just accessed pages [first, last] of f. It updates the
+// block's detector slot and, when the slot is confident, issues the
+// speculation window beyond the access — stride-1 windows as coalesced
+// multi-page RPCs, larger strides page by page.
+func (fs *FS) adaptiveReadAhead(b *gpu.Block, f *file, first, last int64) {
+	if f.writeOnce || !f.readable {
+		return
+	}
+	// Dead-zone gate: speculation pays its fixed issue cost (API call +
+	// probe on the block's clock) back in one of two ways — coalescing
+	// several pages into one RPC (needs 2*PageSize <= raMaxSpanBytes), or
+	// hiding a transfer long enough to dwarf the issue itself (one page
+	// already spans 2*raMaxSpanBytes). Between the two, every speculated
+	// page is its own RPC and too small to amortize it: measured at 32K
+	// pages, a 100% hit rate still nets a small throughput LOSS. Such
+	// streams speculate nothing.
+	if ps := fs.opt.PageSize; 2*ps > raMaxSpanBytes && ps < 2*raMaxSpanBytes {
+		return
+	}
+	fc := f.fc
+	st := &f.ra[b.Idx&(raStreams-1)]
+
+	st.mu.Lock()
+	if !st.seen {
+		st.seen = true
+		st.lastPage = last
+		st.mu.Unlock()
+		return
+	}
+	delta := first - st.lastPage
+	if delta == 0 {
+		// Re-access of the same page: no new direction information.
+		st.mu.Unlock()
+		return
+	}
+	if st.streak > 0 && delta == st.stride {
+		st.streak++
+	} else {
+		st.stride = delta
+		st.streak = 1
+		st.window = raInitWindow
+		st.frontierOK = false
+	}
+	st.lastPage = last
+	stride := st.stride
+	if st.streak < 2 || stride > maxRAStride || stride < -maxRAStride {
+		// Not confident: random-looking streams speculate nothing —
+		// exactly the waste the greedy window pays on Figure 6.
+		st.mu.Unlock()
+		return
+	}
+
+	// Window feedback: wasted prefetch overtaking used prefetch shrinks
+	// the window back toward the initial size; a sustained streak doubles
+	// it toward the ceiling. When waste has outright overtaken use (a
+	// cache too tight for the working set — speculative pages are being
+	// evicted before their consumer returns), the file stands down from
+	// speculation entirely: a prefetch that will be reclaimed unconsumed
+	// costs a daemon round trip, a DMA, and an eviction, and hides
+	// nothing.
+	used, wasted := fc.prefetchUsed.Load(), fc.prefetchWasted.Load()
+	if wasted > used && used+wasted >= 64 {
+		st.mu.Unlock()
+		return
+	}
+	maxWindow := raMaxWindow
+	if byBytes := int(raMaxWindowBytes / fs.opt.PageSize); byBytes < maxWindow {
+		maxWindow = byBytes
+	}
+	if maxWindow < raInitWindow {
+		maxWindow = raInitWindow
+	}
+	switch {
+	case wasted > used/2+4:
+		if st.window > raInitWindow {
+			st.window /= 2
+		}
+	case st.streak >= raRampStreak && st.window < maxWindow &&
+		(stride == 1 || stride == -1):
+		// Only unit strides ramp: they coalesce into vectored RPCs, so a
+		// deep window is cheap, and sequential streams are long. A strided
+		// window pays one RPC per page and covers window*stride pages of
+		// file distance — ramping it overshoots the scan's end for little
+		// gain.
+		st.window *= 2
+	}
+	if st.window > maxWindow {
+		st.window = maxWindow
+	}
+
+	// The window starts at the predicted next access; skip the part
+	// already issued by previous calls (the frontier).
+	base := last + stride
+	start := base
+	if st.frontierOK {
+		if (stride > 0 && st.nextPf > start) || (stride < 0 && st.nextPf < start) {
+			start = st.nextPf
+		}
+	}
+	ahead := (start - base) / stride
+	// Hysteresis (Linux's async mark): while more than half the window is
+	// still in flight there is runway, and topping up now would issue a
+	// 1-page span per access — forfeiting coalescing. Wait until the
+	// consumer has eaten through half the window, then refill it whole, so
+	// steady state issues window/2-page vectored RPCs. Only worth it when
+	// pages actually coalesce (ps < raMaxSpanBytes): past that, a span is
+	// one RPC per page regardless, and deferred refills just dump the
+	// whole window's API cost on the block in a burst — continuous 1-page
+	// top-up spreads it evenly instead.
+	if st.frontierOK && ahead > int64(st.window)/2 && fs.opt.PageSize < raMaxSpanBytes {
+		st.mu.Unlock()
+		return
+	}
+	n := int64(st.window) - ahead
+	// Clamp to the file and to the frame-pool budget (speculation never
+	// evicts, so a tight pool shrinks the issue, not resident data).
+	if lastFile := (fc.size.Load() - 1) / fs.opt.PageSize; stride > 0 {
+		if start > lastFile {
+			n = 0
+		} else if maxN := (lastFile-start)/stride + 1; n > maxN {
+			n = maxN
+		}
+	} else {
+		if start < 0 {
+			n = 0
+		} else if maxN := start/(-stride) + 1; n > maxN {
+			n = maxN
+		}
+	}
+	if budget := int64(fs.fetchBudget()); n > budget {
+		n = budget
+	}
+	// Global speculation cap: at most a quarter of the frame pool may
+	// hold unconsumed speculative pages at once. Without it, dozens of
+	// confident streams sharing a tight cache prefetch each other's
+	// demand data out of residence — the waste feedback would notice,
+	// but only after the damage.
+	if room := int64(fs.cache.NumFrames()/4) - fs.specPending.Load(); n > room {
+		n = room
+	}
+	if n <= 0 {
+		st.mu.Unlock()
+		return
+	}
+	st.nextPf = start + n*stride
+	st.frontierOK = true
+	st.mu.Unlock()
+
+	if stride == 1 {
+		fs.prefetchSpan(b, f, start, n)
+		return
+	}
+	for i := int64(0); i < n; i++ {
+		if !fs.prefetchPage(b, f, start+i*stride, true) {
+			b.Busy(fs.probeCost())
+		}
 	}
 }
 
 // prefetchPage faults one page in without blocking the caller. Pages that
 // are already resident (or being faulted by someone else) are skipped; a
-// full buffer cache aborts the whole read-ahead rather than evicting on
-// behalf of speculative data.
-func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64) {
+// full buffer cache aborts rather than evicting on behalf of speculative
+// data. Reports whether a fetch was actually launched — skips are the
+// caller's to account (a cheap probe), so the synchronous batched-fetch
+// path in gread, which calls this directly, stays cost-identical.
+//
+// spec marks the fetch as speculation (read-ahead): it joins the
+// prefetch-issued/used/wasted accounting and the global in-flight cap.
+// The batched-fetch path passes false — those pages are known-needed
+// pipelining of the current gread, not a guess, and counting them would
+// report a flattering hit rate the engine didn't earn.
+func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64, spec bool) bool {
 	fc := f.fc
 	fp, leaf := fc.tree.LookupLeaf(uint64(pageIdx))
 	if fp == nil {
 		fp, leaf = fc.tree.Insert(uint64(pageIdx))
 	}
 	if !fp.TryBeginInit() {
-		return // resident, in flight, or evicting: nothing to do
+		return false // resident, in flight, or evicting: nothing to do
 	}
 	if leaf.Detached() {
 		// Claim/detach race (see radix.RemoveLeaf): a frame initialized
@@ -52,23 +299,24 @@ func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64) {
 		// cache drop — it would leak until process exit. Speculative
 		// reads just give up.
 		fp.AbortInit()
-		return
+		return false
 	}
 
 	fr := fs.cache.TryAlloc(fc.tree.ID(), pageIdx*fs.opt.PageSize)
 	if fr == nil {
 		// No free frame: speculative reads never trigger eviction.
 		fp.AbortInit()
-		return
+		return false
 	}
 	fc.frames.Add(1)
 
+	start := b.Clock.Now()
 	n, done, err := fs.lane(b).ReadPagesAsync(b.Clock, f.hostFd, pageIdx*fs.opt.PageSize, fr.Data)
 	if err != nil {
 		fs.cache.Release(fr, false)
 		fc.frames.Add(-1)
 		fp.AbortInit()
-		return
+		return false
 	}
 	if n < len(fr.Data) {
 		b.ZeroBytes(fr.Data[n:])
@@ -76,10 +324,120 @@ func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64) {
 	fr.ValidBytes.Store(int64(n))
 	fr.ReadyAt.Store(int64(done))
 	fr.Prefetched.Store(true)
+	if spec {
+		fr.Spec.Store(pcache.SpecPending)
+	}
 	if f.writeShrd {
 		fr.SetPristine(fr.Data[:n])
 	}
 	b.Busy(fs.opt.APICostPerPage)
 	fp.FinishInit(fr.Index)
 	fp.Unref()
+	if spec {
+		fs.prefetchIssued.Add(1)
+		fs.specPending.Add(1)
+		fs.record(b, trace.OpPrefetch, f.path, pageIdx*fs.opt.PageSize, fs.opt.PageSize, start, nil)
+	}
+	return true
+}
+
+// prefetchSpan speculates count consecutive pages starting at start,
+// coalescing adjacent claimable pages into single multi-page RPCs
+// (rpc.ReadPagesVecAsync): one ring transaction and one DMA per run
+// instead of one per page, which is what closes the per-transaction
+// latency gap at small page sizes. Pages that cannot be claimed (already
+// resident or in flight) split the run; a dry frame pool stops the span —
+// speculation never evicts.
+func (fs *FS) prefetchSpan(b *gpu.Block, f *file, start, count int64) {
+	fc := f.fc
+	ps := fs.opt.PageSize
+
+	type claimed struct {
+		fp *radix.FPage
+		fr *pcache.Frame
+	}
+	maxRun := int(raMaxSpanBytes / ps)
+	if maxRun < 1 {
+		maxRun = 1
+	}
+	var run []claimed
+	var runFirst int64
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		issueStart := b.Clock.Now()
+		dsts := make([][]byte, len(run))
+		for i, cl := range run {
+			dsts[i] = cl.fr.Data
+		}
+		ns, done, err := fs.lane(b).ReadPagesVecAsync(b.Clock, f.hostFd, runFirst*ps, dsts)
+		if err != nil {
+			for _, cl := range run {
+				fs.cache.Release(cl.fr, false)
+				fc.frames.Add(-1)
+				cl.fp.AbortInit()
+			}
+			run = run[:0]
+			return
+		}
+		for i, cl := range run {
+			n := ns[i]
+			if n < len(cl.fr.Data) {
+				b.ZeroBytes(cl.fr.Data[n:])
+			}
+			cl.fr.ValidBytes.Store(int64(n))
+			cl.fr.ReadyAt.Store(int64(done))
+			cl.fr.Prefetched.Store(true)
+			cl.fr.Spec.Store(pcache.SpecPending)
+			if f.writeShrd {
+				cl.fr.SetPristine(cl.fr.Data[:n])
+			}
+			// Per-page cost is only the claim bookkeeping; the API-call
+			// overhead is paid once per vectored RPC below — that
+			// amortization is the point of coalescing.
+			b.Busy(fs.probeCost())
+			cl.fp.FinishInit(cl.fr.Index)
+			cl.fp.Unref()
+		}
+		b.Busy(fs.opt.APICostPerPage)
+		fs.prefetchIssued.Add(int64(len(run)))
+		fs.specPending.Add(int64(len(run)))
+		fs.record(b, trace.OpPrefetch, f.path, runFirst*ps, int64(len(run))*ps, issueStart, nil)
+		run = run[:0]
+	}
+
+	for i := int64(0); i < count; i++ {
+		idx := start + i
+		fp, leaf := fc.tree.LookupLeaf(uint64(idx))
+		if fp == nil {
+			fp, leaf = fc.tree.Insert(uint64(idx))
+		}
+		if !fp.TryBeginInit() {
+			b.Busy(fs.probeCost())
+			flush()
+			continue
+		}
+		if leaf.Detached() {
+			fp.AbortInit()
+			b.Busy(fs.probeCost())
+			flush()
+			continue
+		}
+		fr := fs.cache.TryAlloc(fc.tree.ID(), idx*ps)
+		if fr == nil {
+			fp.AbortInit()
+			flush()
+			return // pool dry: stop speculating entirely
+		}
+		fc.frames.Add(1)
+		if len(run) == 0 {
+			runFirst = idx
+		}
+		run = append(run, claimed{fp: fp, fr: fr})
+		if len(run) >= maxRun {
+			flush()
+		}
+	}
+	flush()
 }

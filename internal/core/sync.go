@@ -6,6 +6,8 @@ import (
 	"gpufs/internal/core/pcache"
 	"gpufs/internal/core/radix"
 	"gpufs/internal/gpu"
+	"gpufs/internal/rpc"
+	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
 )
 
@@ -28,6 +30,13 @@ const writeBackGap = 512
 // copy is advanced to the page's current content so future diffs are
 // relative to this sync.
 func (fs *FS) writeBackFrame(b *gpu.Block, hostFd int64, fr *pcache.Frame) error {
+	return fs.writeBackFrameOn(fs.lane(b), b.Clock, hostFd, fr)
+}
+
+// writeBackFrameOn is writeBackFrame parameterized by the acting RPC lane
+// and clock, so the background cleaner can write pages back on its own
+// timeline instead of a faulting threadblock's.
+func (fs *FS) writeBackFrameOn(lane *rpc.Client, clk *simtime.Clock, hostFd int64, fr *pcache.Frame) error {
 	// Clear the dirty flag BEFORE snapshotting: a write racing with this
 	// sync either lands in the snapshot (shipped now, re-flagged
 	// harmlessly) or re-dirties the page for the next sync. Either way
@@ -49,7 +58,7 @@ func (fs *FS) writeBackFrame(b *gpu.Block, hostFd int64, fr *pcache.Frame) error
 	}
 
 	for _, r := range ranges {
-		if _, err := fs.lane(b).WritePages(b.Clock, hostFd, base+r.Start, data[r.Start:r.End]); err != nil {
+		if _, err := lane.WritePages(clk, hostFd, base+r.Start, data[r.Start:r.End]); err != nil {
 			fr.Dirty.Store(true)
 			return fmt.Errorf("gpufs: writing back page at %d: %w", base, err)
 		}
@@ -65,7 +74,11 @@ func (fs *FS) writeBackFrame(b *gpu.Block, hostFd int64, fr *pcache.Frame) error
 // copy current. If another processor wrote concurrently, the generations
 // will not line up and the next gopen will (correctly) invalidate us.
 func (fs *FS) refreshGeneration(b *gpu.Block, fc *fileCache, hostFd int64) {
-	info, err := fs.lane(b).Stat(b.Clock, hostFd)
+	fs.refreshGenerationOn(fs.lane(b), b.Clock, fc, hostFd)
+}
+
+func (fs *FS) refreshGenerationOn(lane *rpc.Client, clk *simtime.Clock, fc *fileCache, hostFd int64) {
+	info, err := lane.Stat(clk, hostFd)
 	if err != nil {
 		return // stale generation only costs an extra invalidation
 	}

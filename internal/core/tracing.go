@@ -13,18 +13,25 @@ func (fs *FS) SetTracer(t *trace.Tracer) { fs.tracer = t }
 
 // record emits one event if tracing is enabled.
 func (fs *FS) record(b *gpu.Block, op trace.Op, path string, off, n int64, start simtime.Time, err error) {
+	fs.recordAt(b.Idx, op, path, off, n, start, b.Clock.Now(), err)
+}
+
+// recordAt is record with an explicit actor and span, for paths that do
+// not run on a threadblock's clock (the background cleaner reports a
+// negative block index).
+func (fs *FS) recordAt(block int, op trace.Op, path string, off, n int64, start, end simtime.Time, err error) {
 	if !fs.tracer.Enabled() {
 		return
 	}
 	e := trace.Event{
 		GPU:    fs.gpuID,
-		Block:  b.Idx,
+		Block:  block,
 		Op:     op,
 		Path:   path,
 		Offset: off,
 		Bytes:  n,
 		Start:  start,
-		End:    b.Clock.Now(),
+		End:    end,
 	}
 	if err != nil {
 		e.Err = err.Error()

@@ -127,8 +127,24 @@ type Config struct {
 	ForceLockedTraversal bool
 	// ReadAheadPages enables greedy GPU-side buffer-cache read-ahead on
 	// gread (§3.3 lists read-ahead among the optimizations a GPU buffer
-	// cache enables). 0 — the prototype's setting — disables it.
+	// cache enables). 0 — the prototype's setting — disables it. Ignored
+	// while ReadAheadAdaptive is set.
 	ReadAheadPages int
+	// ReadAheadAdaptive replaces the fixed greedy read-ahead window with a
+	// per-open-file, per-stream pattern detector: sequential and strided
+	// access ramp a Linux-style window up on confirmed prefetch hits and
+	// shrink it on waste, and adjacent speculative pages coalesce into one
+	// multi-page RPC. Random access builds no confidence and triggers no
+	// speculation. On by default; false restores the PR-3 behavior
+	// bit-identically (ReadAheadPages then governs the greedy window).
+	ReadAheadAdaptive bool
+	// CleanerWorkers is the number of background writeback-cleaner lanes
+	// per GPU. When a low watermark on free buffer-cache frames is
+	// crossed, the cleaner writes cold dirty pages back and pre-evicts
+	// closed-file frames on the host daemon's timeline instead of the
+	// faulting threadblock's. 0 disables the cleaner (all write-back
+	// happens synchronously inside eviction, the PR-3 behavior).
+	CleanerWorkers int
 	// DisableFastReopen forces reopens of closed-table files through the
 	// full host RPC path (ablation of the §4.1 closed-table
 	// optimization).
@@ -201,6 +217,8 @@ func Default() Config {
 		RadixLookupLocked:   550 * simtime.Nanosecond,
 		RPCPollInterval:     10 * simtime.Microsecond,
 		RPCHandleCost:       12 * simtime.Microsecond,
+		ReadAheadAdaptive:   true,
+		CleanerWorkers:      1,
 
 		GPUFlops: 18e9,
 		CPUFlops: 9e9,
@@ -288,6 +306,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("params: RPCShards must be >= 0, got %d", c.RPCShards)
 	case c.DaemonWorkers < 0:
 		return fmt.Errorf("params: DaemonWorkers must be >= 0, got %d", c.DaemonWorkers)
+	case c.CleanerWorkers < 0:
+		return fmt.Errorf("params: CleanerWorkers must be >= 0, got %d", c.CleanerWorkers)
 	case c.Scale <= 0:
 		return fmt.Errorf("params: Scale must be positive, got %v", c.Scale)
 	}

@@ -123,6 +123,19 @@ func (l *Link) Copy(now simtime.Time, dir Direction, dst, src []byte) (simtime.T
 	return l.Charge(now, dir, int64(len(src))), nil
 }
 
+// ChargeScatter accounts a DMA of n bytes scattered across segs separate
+// destination buffers: one transaction, plus a per-descriptor surcharge
+// (an eighth of the transaction setup latency per extra segment) for the
+// additional scatter-gather entries the engine walks. Coalesced multi-page
+// read-ahead uses this so a vectored transfer amortizes — but does not
+// erase — the per-page transfer cost that separates Figure 4's page sizes.
+func (l *Link) ChargeScatter(now simtime.Time, dir Direction, n int64, segs int) simtime.Time {
+	if segs > 1 && !l.bus.exclude.Load() {
+		now = now.Add(l.bus.cfg.DMALatency / 8 * simtime.Duration(segs-1))
+	}
+	return l.Charge(now, dir, n)
+}
+
 // Charge accounts a DMA of n bytes without moving data (for transfers whose
 // payload is modelled elsewhere) and returns the completion time.
 func (l *Link) Charge(now simtime.Time, dir Direction, n int64) simtime.Time {

@@ -447,6 +447,51 @@ func (c *Client) ReadPagesAsync(blk *simtime.Clock, fd int64, off int64, dst []b
 	return got, done, nil
 }
 
+// ReadPagesVecAsync is ReadPagesAsync over several CONTIGUOUS pages: one
+// ring transaction, one host read covering the whole extent, and one DMA
+// whose completion time every page shares. This is the coalescing that
+// lets small-page sequential read-ahead amortize the per-transaction PCIe
+// cost (ISSUE 4): N pages cost one poll/handle/return cycle instead of N.
+// dsts are the destination frames of consecutive pages starting at off;
+// the returned slice holds per-page byte counts (short at EOF). Like all
+// speculative reads, the request is never retried.
+func (c *Client) ReadPagesVecAsync(blk *simtime.Clock, fd int64, off int64, dsts [][]byte) ([]int, simtime.Time, error) {
+	total := 0
+	for _, d := range dsts {
+		total += len(d)
+	}
+	ns := make([]int, len(dsts))
+	done, err := c.t.SubmitAsync(blk, c.shard, OpReadPages, func(cclk *simtime.Clock) (simtime.Time, error) {
+		f, err := c.srv.file(fd)
+		if err != nil {
+			return 0, err
+		}
+		staging := make([]byte, total)
+		n, err := c.readFull(cclk, f, staging, off)
+		if err != nil {
+			return 0, err
+		}
+		got := 0
+		for i, d := range dsts {
+			take := n - got
+			if take > len(d) {
+				take = len(d)
+			}
+			if take < 0 {
+				take = 0
+			}
+			copy(d[:take], staging[got:got+take])
+			ns[i] = take
+			got += take
+		}
+		return c.link.ChargeScatter(cclk.Now(), pcie.HostToDevice, int64(n), len(dsts)), nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ns, done, nil
+}
+
 // WritePages DMAs len(src) bytes out of device memory and writes them to
 // the host file at off. The D2H transfer must complete before the file
 // write begins (the daemon worker needs the bytes), so the worker's file

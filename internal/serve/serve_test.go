@@ -431,7 +431,7 @@ func TestServeStatsString(t *testing.T) {
 	srv.Drain()
 
 	out := srv.Stats().String()
-	for _, want := range []string{"completed", "latency", "gpu 0", "gpu 1", "tenant alice"} {
+	for _, want := range []string{"completed", "latency", "cache:", "gpu 0", "gpu 1", "tenant alice"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stats report missing %q:\n%s", want, out)
 		}

@@ -36,6 +36,13 @@ type GPUStats struct {
 	Completed, Failed, AffinityHits int64
 	// Restarts counts fault-driven GPU.Restart recoveries.
 	Restarts int64
+	// PrefetchIssued/PrefetchUsed/PrefetchWasted are this device's
+	// buffer-cache read-ahead counters (core.CacheStats): speculative
+	// pages launched, consumed by a demand access, and reclaimed unused.
+	PrefetchIssued, PrefetchUsed, PrefetchWasted int64
+	// CleanedPages counts pages the background writeback cleaner wrote
+	// back or pre-evicted off the fault critical path.
+	CleanedPages int64
 	// ShardLanes is the largest number of distinct RPC ring shards one
 	// batch's blocks spanned on this device — how wide a dispatch round
 	// spread across the sharded host-service rings (1 with a single
@@ -74,6 +81,13 @@ func (s *Server) Stats() Stats {
 		st.Queued += q.size
 		st.Inflight += s.inflight[g]
 	}
+	for g := range st.GPUs {
+		cs := s.sys.GPU(g).FS().CacheStats()
+		st.GPUs[g].PrefetchIssued = cs.PrefetchIssued
+		st.GPUs[g].PrefetchUsed = cs.PrefetchUsed
+		st.GPUs[g].PrefetchWasted = cs.PrefetchWasted
+		st.GPUs[g].CleanedPages = cs.CleanedPages
+	}
 	st.Latencies = append([]simtime.Duration(nil), s.lat...)
 	return st
 }
@@ -108,6 +122,21 @@ func (st Stats) AffinityHitRate() float64 {
 		return 0
 	}
 	return float64(hits) / float64(done)
+}
+
+// PrefetchHitRate is the fraction of resolved speculative pages that a
+// demand access consumed (used / (used + wasted)) across all GPUs, or 0
+// with no resolved speculation.
+func (st Stats) PrefetchHitRate() float64 {
+	var used, wasted int64
+	for _, g := range st.GPUs {
+		used += g.PrefetchUsed
+		wasted += g.PrefetchWasted
+	}
+	if used+wasted == 0 {
+		return 0
+	}
+	return float64(used) / float64(used+wasted)
 }
 
 // BatchFactor is the mean jobs per kernel launch.
@@ -147,6 +176,15 @@ func (st Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serve: %d completed, %d failed in %.3fs virtual (%.1f jobs/launch, %.0f%% affinity hits)\n",
 		st.Completed(), st.Failed(), st.Now.Seconds(), st.BatchFactor(), 100*st.AffinityHitRate())
+	var pfIssued, pfUsed, pfWasted, cleaned int64
+	for _, g := range st.GPUs {
+		pfIssued += g.PrefetchIssued
+		pfUsed += g.PrefetchUsed
+		pfWasted += g.PrefetchWasted
+		cleaned += g.CleanedPages
+	}
+	fmt.Fprintf(&b, "cache: %d pages prefetched, %.0f%% hit rate (%d wasted), %d cleaned in background\n",
+		pfIssued, 100*st.PrefetchHitRate(), pfWasted, cleaned)
 	if len(st.Latencies) > 0 {
 		fmt.Fprintf(&b, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
 			st.LatencyPercentile(50), st.LatencyPercentile(90),

@@ -50,6 +50,16 @@ const (
 	// OpDispatch marks a serving-layer kernel dispatch: the span covers
 	// the batched launch from start to completion.
 	OpDispatch
+	// OpPrefetch marks a speculative read issue (adaptive or greedy
+	// read-ahead, ISSUE 4); Bytes is the coalesced extent of the issue.
+	OpPrefetch
+	// OpPrefetchWaste marks speculative pages reclaimed before any demand
+	// access consumed them; Bytes is the wasted extent.
+	OpPrefetchWaste
+	// OpClean marks one background-cleaner pass (Block is negative: the
+	// cleaner runs on its own lane, not a threadblock); Bytes is the
+	// extent written back or pre-evicted.
+	OpClean
 	numOps
 )
 
@@ -57,6 +67,7 @@ var opNames = [numOps]string{
 	"gopen", "gclose", "gread", "gwrite", "gfsync",
 	"gmmap", "gmunmap", "gmsync", "gunlink", "gfstat", "gftruncate",
 	"evict", "fault", "retry", "enqueue", "batch", "dispatch",
+	"prefetch", "prefetch-waste", "clean",
 }
 
 // String names the operation as the paper does (gopen, gread, ...).

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"gpufs"
 	"gpufs/internal/cudart"
@@ -231,6 +232,49 @@ func RandReadGPUfs(sys *gpufs.System, gpuID int, path string, fileBytes int64, b
 	if err != nil {
 		return nil, err
 	}
+	res.Elapsed = simtime.Duration(end)
+	res.UniquePages = sys.GPU(gpuID).FS().Cache().Allocs()
+	finishMicro(res)
+	return res, nil
+}
+
+// StrideReadGPUfs reads readBytes from the head of every stridePages-th
+// page of each block's contiguous file range — a fixed-stride pattern that
+// a pattern detector should recognize (and speculate along) while greedy
+// sequential read-ahead mostly fetches the skipped pages for nothing.
+func StrideReadGPUfs(sys *gpufs.System, gpuID int, path string, fileBytes int64, blocks, threads int, stridePages, readBytes int64) (*MicroResult, error) {
+	res := &MicroResult{}
+	ps := sys.GPU(gpuID).FS().PageSize()
+	perBlock := (fileBytes + int64(blocks) - 1) / int64(blocks)
+	perBlock = (perBlock + ps - 1) / ps * ps
+	var bytes atomic.Int64
+
+	end, err := sys.GPU(gpuID).Launch(0, blocks, threads, func(c *gpufs.BlockCtx) error {
+		if int64(len(c.Scratch)) < readBytes {
+			return fmt.Errorf("strideread: scratchpad %d < read size %d", len(c.Scratch), readBytes)
+		}
+		fd, err := c.Gopen(path, gpufs.O_RDONLY)
+		if err != nil {
+			return err
+		}
+		base := int64(c.Idx) * perBlock
+		for off := base; off < base+perBlock && off < fileBytes; off += ps * stridePages {
+			want := readBytes
+			if off+want > fileBytes {
+				want = fileBytes - off
+			}
+			n, err := c.Gread(fd, c.Scratch[:want], off)
+			if err != nil {
+				return err
+			}
+			bytes.Add(int64(n))
+		}
+		return c.Gclose(fd)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Bytes = bytes.Load()
 	res.Elapsed = simtime.Duration(end)
 	res.UniquePages = sys.GPU(gpuID).FS().Cache().Allocs()
 	finishMicro(res)
