@@ -1,10 +1,11 @@
 # Verification tiers.
 #
 #   tier1      — the commit gate: everything builds, all tests pass.
-#   tier2      — the merge gate: gofmt-clean, vet clean, and the full
+#   tier2      — the merge gate: gofmt-clean, vet clean, the full
 #                suite under the race detector (the stress/oracle tests
 #                run 500 seeds concurrently, so this is where sync bugs
-#                die).
+#                die), and the bench guardrail pinning the Fig4 16K
+#                throughput and daemon-scaling speedup to BENCH_4.json.
 #   fuzz-smoke — 30s coverage-guided run of the radix-tree fuzzer; CI
 #                budget, not a soak. Extend -fuzztime for real hunts.
 #   stress     — the fault-injection oracle at full depth (500 seeds),
@@ -29,6 +30,7 @@ tier2:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	GPUFS_BENCH_GUARDRAIL=1 $(GO) test -count=1 -run TestBenchGuardrail ./internal/bench
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRadixTree -fuzztime 30s ./internal/core/radix

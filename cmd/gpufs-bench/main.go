@@ -13,10 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"gpufs/internal/bench"
+	"gpufs/internal/metrics"
 )
 
 func main() {
@@ -24,6 +26,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, readahead, ablation, serve, daemon")
 	reps := flag.Int("reps", 3, "runs averaged per measured cell (the paper averages 5)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable NDJSON (one object per table row) instead of text tables")
+	metricsOut := flag.String("metrics", "", `collect metrics across every run and write a Prometheus text exposition to this path at exit ("-" = stderr)`)
+	metricsNDJSON := flag.String("metrics-ndjson", "", `collect metrics and write them as NDJSON to this path at exit ("-" = stderr)`)
 	flag.Parse()
 	if *scale <= 0 {
 		usageError("-scale must be > 0, got %g", *scale)
@@ -32,6 +36,14 @@ func main() {
 		usageError("-reps must be >= 1, got %d", *reps)
 	}
 	bench.SetReps(*reps)
+	var reg *metrics.Registry
+	if *metricsOut != "" || *metricsNDJSON != "" {
+		// One registry spans the whole sweep: per-system collectors on the
+		// same series identity are summed, so the export aggregates every
+		// run of the invocation.
+		reg = metrics.New()
+		bench.SetMetricsRegistry(reg)
+	}
 
 	runners := map[string]func(float64) (*bench.Table, error){
 		"fig4":      bench.Fig4,
@@ -81,6 +93,41 @@ func main() {
 			fmt.Println(tb)
 		}
 	}
+
+	if reg != nil {
+		if err := exportMetrics(reg, *metricsOut, (*metrics.Registry).WritePrometheus); err != nil {
+			fatal(err)
+		}
+		if err := exportMetrics(reg, *metricsNDJSON, (*metrics.Registry).WriteNDJSON); err != nil {
+			fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Println("metrics summary (virtual time, whole sweep):")
+			if err := reg.WriteSummary(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// exportMetrics writes one exposition format to path ("-" = stderr, keeping
+// stdout clean for table output; empty = skip).
+func exportMetrics(reg *metrics.Registry, path string, write func(*metrics.Registry, io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return write(reg, os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(reg, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -9,18 +9,26 @@
 //	gpufs-serve [-tenants 8] [-outstanding 8] [-jobs 125] [-gpus 2]
 //	            [-files 16] [-batch 16] [-policy affinity|rr]
 //	            [-scale 0.00390625] [-seed 1] [-faults]
+//	            [-metrics -|PATH] [-metrics-ndjson -|PATH]
+//
+// -metrics enables the virtual-time metrics registry and writes a
+// Prometheus text exposition to PATH at exit ("-" for stdout), along with
+// an end-of-run summary table; -metrics-ndjson additionally (or instead)
+// writes one JSON object per series.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
 	"sync"
 
 	"gpufs"
+	"gpufs/internal/metrics"
 	"gpufs/internal/serve"
 	"gpufs/internal/workloads"
 )
@@ -36,6 +44,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0/256, "uniform scale factor for capacities")
 	seed := flag.Int64("seed", 1, "workload seed")
 	faults := flag.Bool("faults", false, "inject the standard RPC/host fault mix")
+	metricsOut := flag.String("metrics", "", `write a Prometheus text exposition to this path at exit ("-" = stdout)`)
+	metricsNDJSON := flag.String("metrics-ndjson", "", `write metrics as NDJSON (one object per series) to this path at exit ("-" = stdout)`)
 	flag.Parse()
 
 	switch {
@@ -66,6 +76,7 @@ func main() {
 
 	cfg := gpufs.ScaledConfig(*scale)
 	cfg.NumGPUs = *gpus
+	cfg.MetricsEnabled = *metricsOut != "" || *metricsNDJSON != ""
 	sys, err := gpufs.NewSystem(cfg)
 	if err != nil {
 		fatal(err)
@@ -162,6 +173,39 @@ func main() {
 	if failures > 0 {
 		fmt.Printf("%d job(s) failed with explicit errors\n", failures)
 	}
+
+	if reg := sys.Metrics(); reg != nil {
+		if err := exportMetrics(reg, *metricsOut, (*metrics.Registry).WritePrometheus); err != nil {
+			fatal(err)
+		}
+		if err := exportMetrics(reg, *metricsNDJSON, (*metrics.Registry).WriteNDJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nmetrics summary (virtual time):")
+		if err := reg.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// exportMetrics writes one exposition format to path ("-" = stdout; empty =
+// skip).
+func exportMetrics(reg *metrics.Registry, path string, write func(*metrics.Registry, io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return write(reg, os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(reg, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func randomJob(rng *rand.Rand, paths, words []string) serve.Job {

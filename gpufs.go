@@ -42,6 +42,7 @@ import (
 	"gpufs/internal/faults"
 	"gpufs/internal/gpu"
 	"gpufs/internal/hostfs"
+	"gpufs/internal/metrics"
 	"gpufs/internal/params"
 	"gpufs/internal/pcie"
 	"gpufs/internal/rpc"
@@ -110,6 +111,7 @@ type System struct {
 
 	tracer *trace.Tracer
 	faults *faults.Injector
+	met    *metrics.Registry
 }
 
 // GPU is one device together with its GPUfs instance.
@@ -121,10 +123,25 @@ type GPU struct {
 	fs     *core.FS
 }
 
-// NewSystem builds a simulated machine from the configuration.
+// NewSystem builds a simulated machine from the configuration. With
+// cfg.MetricsEnabled set, a fresh metrics registry is created and attached
+// (reachable via Metrics).
 func NewSystem(cfg Config) (*System, error) {
+	return NewSystemWithMetrics(cfg, nil)
+}
+
+// NewSystemWithMetrics builds a simulated machine that records into reg.
+// A nil reg falls back to NewSystem behavior: a fresh registry when
+// cfg.MetricsEnabled is set, no metrics otherwise. Passing a non-nil reg
+// attaches it regardless of cfg.MetricsEnabled — the idiom for
+// aggregating several Systems (a benchmark sweep) into one registry.
+// Collection is observation-only and never perturbs virtual timing.
+func NewSystemWithMetrics(cfg Config, reg *metrics.Registry) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if reg == nil && cfg.MetricsEnabled {
+		reg = metrics.New()
 	}
 
 	host := hostfs.New(hostfs.Options{
@@ -153,6 +170,10 @@ func NewSystem(cfg Config) (*System, error) {
 		Shards:        cfg.RPCShards,
 		Workers:       cfg.DaemonWorkers,
 	}, layer)
+	// Attach instrumentation before any Link or Client exists: both
+	// pre-resolve their metric handles at construction time.
+	bus.SetMetrics(reg)
+	server.SetMetrics(reg)
 
 	sys := &System{
 		cfg:       cfg,
@@ -161,6 +182,7 @@ func NewSystem(cfg Config) (*System, error) {
 		bus:       bus,
 		server:    server,
 		hostClock: simtime.NewClock(0),
+		met:       reg,
 	}
 
 	for i := 0; i < cfg.NumGPUs; i++ {
@@ -188,6 +210,7 @@ func NewSystem(cfg Config) (*System, error) {
 			ReadAheadAdaptive:    cfg.ReadAheadAdaptive,
 			CleanerWorkers:       cfg.CleanerWorkers,
 			DisableFastReopen:    cfg.DisableFastReopen,
+			Metrics:              reg,
 		}, client, dev.Mem)
 		if err != nil {
 			return nil, fmt.Errorf("gpufs: initializing GPU %d: %w", i, err)
@@ -254,6 +277,10 @@ func (s *System) EnableTracing(capacity int) *trace.Tracer {
 
 // Tracer returns the tracer installed by EnableTracing, or nil.
 func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// Metrics returns the system's metrics registry, or nil when metrics are
+// disabled (neither cfg.MetricsEnabled nor NewSystemWithMetrics).
+func (s *System) Metrics() *metrics.Registry { return s.met }
 
 // EnableFaults installs a seeded fault injector across the whole machine:
 // the RPC daemon (slow polls, lost/duplicated responses, transient EAGAIN),

@@ -119,7 +119,7 @@ func ablateDMAChannels(scale float64, t *Table) error {
 			if cfg.GPUMemBytes < cfg.BufferCacheBytes+fileBytes {
 				cfg.GPUMemBytes = cfg.BufferCacheBytes + fileBytes
 			}
-			sys, err := gpufs.NewSystem(cfg)
+			sys, err := newSystem(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -155,7 +155,7 @@ func ablateFastReopen(scale float64, t *Table) error {
 		return meanMicro(reps, func() (*workloads.MicroResult, error) {
 			cfg := gpufs.ScaledConfig(scale)
 			cfg.DisableFastReopen = disable
-			sys, err := gpufs.NewSystem(cfg)
+			sys, err := newSystem(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -201,5 +201,5 @@ func seqSystemRA(scale float64, pageSize, fileBytes int64, ra int) (*gpufs.Syste
 	if cfg.GPUMemBytes < cfg.BufferCacheBytes+fileBytes {
 		cfg.GPUMemBytes = cfg.BufferCacheBytes + fileBytes
 	}
-	return gpufs.NewSystem(cfg)
+	return newSystem(cfg)
 }

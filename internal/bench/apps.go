@@ -82,7 +82,7 @@ func Fig8(scale float64) (*Table, error) {
 					cfg.GPUMemBytes = need
 				}
 			}
-			sys, err := gpufs.NewSystem(cfg)
+			sys, err := newSystem(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -164,7 +164,7 @@ func Table2(scale float64) (*Table, error) {
 		if cfg.BufferCacheBytes < 4*cfg.PageSize {
 			cfg.BufferCacheBytes = 4 * cfg.PageSize
 		}
-		sys, err := gpufs.NewSystem(cfg)
+		sys, err := newSystem(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +213,7 @@ func Table3(scale float64) (*Table, error) {
 
 		// CPU baseline.
 		cfg := gpufs.ScaledConfig(scale)
-		sysCPU, err := gpufs.NewSystem(cfg)
+		sysCPU, err := newSystem(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +230,7 @@ func Table3(scale float64) (*Table, error) {
 
 		var oneGPU simtime.Duration
 		for n := 1; n <= 4; n++ {
-			sys, err := gpufs.NewSystem(cfg)
+			sys, err := newSystem(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -259,7 +259,7 @@ func Table3(scale float64) (*Table, error) {
 	// enables skips nearly all data — the paper measures a 400x drop
 	// (53 s to 130 ms).
 	cfg := gpufs.ScaledConfig(scale)
-	sysNo, err := gpufs.NewSystem(cfg)
+	sysNo, err := newSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +272,7 @@ func Table3(scale float64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sysFirst, err := gpufs.NewSystem(cfg)
+	sysFirst, err := newSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -321,7 +321,7 @@ func Table4(scale float64) (*Table, error) {
 		if cfg.GPUMemBytes < vanillaNeed {
 			cfg.GPUMemBytes = vanillaNeed
 		}
-		sys, err := gpufs.NewSystem(cfg)
+		sys, err := newSystem(cfg)
 		if err != nil {
 			return nil, err
 		}

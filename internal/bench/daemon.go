@@ -79,7 +79,7 @@ func daemonScalingPoint(scale float64, workers, grepFiles int, readBytes int64) 
 	cfg := gpufs.ScaledConfig(scale)
 	cfg.RPCShards = workers
 	cfg.DaemonWorkers = workers
-	sys, err := gpufs.NewSystem(cfg)
+	sys, err := newSystem(cfg)
 	if err != nil {
 		return 0, 0, err
 	}

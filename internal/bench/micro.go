@@ -76,7 +76,7 @@ func seqSystem(scale float64, pageSize, fileBytes int64) (*gpufs.System, error) 
 	if min := cfg.BufferCacheBytes + fileBytes + 4*(16<<20); cfg.GPUMemBytes < min {
 		cfg.GPUMemBytes = min
 	}
-	return gpufs.NewSystem(cfg)
+	return newSystem(cfg)
 }
 
 // Fig4 reproduces Figure 4: sequential read throughput versus page size for
@@ -284,7 +284,7 @@ func Fig7(scale float64) (*Table, error) {
 		if cfg.GPUMemBytes < cfg.BufferCacheBytes+fileBytes {
 			cfg.GPUMemBytes = cfg.BufferCacheBytes + fileBytes
 		}
-		sys, err := gpufs.NewSystem(cfg)
+		sys, err := newSystem(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -300,7 +300,7 @@ func Fig7(scale float64) (*Table, error) {
 
 	// Raw baseline is independent of page size.
 	raw, err := meanMicro(reps, func() (*workloads.MicroResult, error) {
-		rawSys, err := gpufs.NewSystem(params.Scaled(scale))
+		rawSys, err := newSystem(params.Scaled(scale))
 		if err != nil {
 			return nil, err
 		}

@@ -95,7 +95,7 @@ func Readahead(scale float64) (*Table, error) {
 					cfg.GPUMemBytes = 2 * cfg.BufferCacheBytes
 				}
 				m.tune(&cfg)
-				sys, err := gpufs.NewSystem(cfg)
+				sys, err := newSystem(cfg)
 				if err != nil {
 					return nil, err
 				}

@@ -60,7 +60,7 @@ func runServe(scale float64, sc serveCase, policy serve.Policy, maxBatch int) (s
 	if cfg.GPUMemBytes < 2*cfg.BufferCacheBytes {
 		cfg.GPUMemBytes = 2 * cfg.BufferCacheBytes
 	}
-	sys, err := gpufs.NewSystem(cfg)
+	sys, err := newSystem(cfg)
 	if err != nil {
 		return row, err
 	}

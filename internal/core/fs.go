@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +31,7 @@ import (
 	"gpufs/internal/gpu"
 	"gpufs/internal/hostfs"
 	"gpufs/internal/memsys"
+	"gpufs/internal/metrics"
 	"gpufs/internal/rpc"
 	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
@@ -105,6 +107,12 @@ type Options struct {
 	DisableFastReopen bool
 	// EvictBatch is how many pages one paging pass tries to reclaim.
 	EvictBatch int
+	// Metrics, when non-nil, attaches this GPU's counters and latency
+	// histograms to the registry. Metrics are observation-only: they
+	// record virtual timestamps already computed by the simulation and
+	// never acquire resources, so timing is bit-identical with or without
+	// them. Nil keeps every hook at a single pointer test.
+	Metrics *metrics.Registry
 }
 
 // FS is the GPUfs instance of a single GPU: the top software layer of
@@ -152,6 +160,14 @@ type FS struct {
 	// quarter of the frame pool, so speculation can never thrash resident
 	// demand data out of a tight cache.
 	specPending atomic.Int64
+
+	// cacheHits and cacheMisses count getPage outcomes: a hit finds the
+	// page resident, a miss faults it in (the initializer path).
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	// met holds pre-resolved metrics handles; nil when Options.Metrics is.
+	met *fsMetrics
 
 	// cleaner is the background writeback engine; nil when
 	// Options.CleanerWorkers is 0.
@@ -283,7 +299,74 @@ func New(gpuID int, opt Options, client *rpc.Client, mem *memsys.Arena) (*FS, er
 	if opt.CleanerWorkers > 0 {
 		fs.cleaner = newCleaner(fs, opt.CleanerWorkers)
 	}
+	if opt.Metrics != nil {
+		fs.attachMetrics(opt.Metrics)
+	}
 	return fs, nil
+}
+
+// fsMetrics holds one GPU's pre-resolved instrument handles. Only the op
+// histograms sit on a hot path; the counters are func collectors over the
+// atomics the FS maintains anyway, so enabling metrics adds no per-call
+// work beyond the histogram observations.
+type fsMetrics struct {
+	// op is indexed by trace.Op; entries are nil for ops this layer never
+	// records (serve-level ops, faults, retries).
+	op []*metrics.Histogram
+}
+
+// attachMetrics registers the FS's counters with the registry and resolves
+// the per-op latency histogram handles. Histogram op labels reuse the trace
+// package's op names (gopen, gread, ...), so metrics and traces agree.
+func (fs *FS) attachMetrics(reg *metrics.Registry) {
+	gpuL := strconv.Itoa(fs.gpuID)
+	reg.SetHelp("gpufs_core_op_seconds", "Virtual latency of GPUfs API calls, labelled by op name")
+	reg.SetHelp("gpufs_core_cache_hits_total", "Buffer-cache page accesses served from a resident frame")
+	reg.SetHelp("gpufs_core_cache_misses_total", "Buffer-cache page accesses that faulted the page in")
+	reg.SetHelp("gpufs_core_evictions_total", "Frames reclaimed by the paging algorithm")
+	reg.SetHelp("gpufs_core_prefetch_issued_total", "Pages issued speculatively by read-ahead")
+	reg.SetHelp("gpufs_core_prefetch_used_total", "Speculative pages later consumed by a demand access")
+	reg.SetHelp("gpufs_core_prefetch_wasted_total", "Speculative pages reclaimed unconsumed")
+	reg.SetHelp("gpufs_core_cleaned_pages_total", "Pages the background cleaner wrote back or pre-evicted")
+	reg.SetHelp("gpufs_core_cleaner_kicks_total", "Background-cleaner wake-ups")
+	reg.SetHelp("gpufs_core_opens_total", "gopen calls")
+	reg.SetHelp("gpufs_core_host_opens_total", "gopen calls forwarded to the CPU")
+	reg.SetHelp("gpufs_core_closed_reuses_total", "Reopens served from the closed file table")
+	reg.SetHelp("gpufs_core_spec_pending", "Speculative pages resident but not yet consumed")
+
+	reg.CounterFunc("gpufs_core_cache_hits_total", fs.cacheHits.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_cache_misses_total", fs.cacheMisses.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_evictions_total", fs.cache.Reclaimed, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_prefetch_issued_total", fs.prefetchIssued.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_prefetch_used_total", fs.prefetchUsed.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_prefetch_wasted_total", fs.prefetchWasted.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_cleaned_pages_total", fs.cleanedPages.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_cleaner_kicks_total", fs.cleanerKicks.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_opens_total", fs.opens.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_host_opens_total", fs.hostOpens.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_closed_reuses_total", fs.closedReuses.Load, "gpu", gpuL)
+	reg.GaugeFunc("gpufs_core_spec_pending", fs.specPending.Load, "gpu", gpuL)
+
+	m := &fsMetrics{op: make([]*metrics.Histogram, int(trace.OpClean)+1)}
+	for _, op := range []trace.Op{
+		trace.OpOpen, trace.OpClose, trace.OpRead, trace.OpWrite,
+		trace.OpFsync, trace.OpMmap, trace.OpMunmap, trace.OpMsync,
+		trace.OpUnlink, trace.OpFstat, trace.OpFtruncate,
+		trace.OpEvict, trace.OpPrefetch, trace.OpClean,
+	} {
+		m.op[op] = reg.DurationHistogram("gpufs_core_op_seconds",
+			"gpu", gpuL, "op", op.String())
+	}
+	fs.met = m
+}
+
+// observeOp records an op's virtual span; a no-op when metrics are off or
+// the op is not instrumented at this layer.
+func (m *fsMetrics) observeOp(op trace.Op, start, end simtime.Time) {
+	if m == nil || int(op) >= len(m.op) {
+		return
+	}
+	m.op[op].ObserveSpan(start, end)
 }
 
 // GPUID reports the owning GPU's index.

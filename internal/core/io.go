@@ -76,6 +76,7 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 							fs.specPending.Add(-1)
 						}
 					}
+					fs.cacheHits.Add(1)
 					return pageRef{fr: fr, fp: fp}, nil
 				}
 			}
@@ -106,6 +107,7 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 			}
 			b.Busy(fs.opt.APICostPerPage)
 			fp.FinishInit(fr.Index) // holds our reference
+			fs.cacheMisses.Add(1)
 			return pageRef{fr: fr, fp: fp}, nil
 		}
 

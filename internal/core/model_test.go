@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gpufs/internal/gpu"
+	"gpufs/internal/simtime"
+)
+
+// TestModelConformance is the model-based POSIX-conformance suite: it
+// drives several GPUs through randomized schedules of gopen / gread /
+// gwrite / gmmap / gfsync / gclose (plus external host writes) and checks
+// every observation byte-for-byte against a plain in-memory model of the
+// paper's consistency contract:
+//
+//   - a descriptor denotes a file; each GPU's reads see its local view —
+//     the host content adopted at the last (in)validating open, overlaid
+//     with the GPU's own writes since;
+//   - gclose propagates nothing; the dirty view survives in the closed
+//     file table and a matching reopen resumes it;
+//   - gfsync makes the host equal to the writer's view and refreshes its
+//     generation, so the writer's cache stays valid while every other
+//     GPU's cached copy is invalidated (close-to-open consistency through
+//     the wrapfs generation table);
+//   - a reopen keeps the cached view iff its generation is still current,
+//     and otherwise adopts the host content — silently discarding any
+//     never-synced dirty data (the documented weak semantics);
+//   - an external host write invalidates every GPU's cache.
+//
+// The model is only sound while nothing leaves the cache behind the
+// schedule's back, so the cache is sized to never evict (asserted at the
+// end) and the background cleaner is off.
+func TestModelConformance(t *testing.T) {
+	const schedules = 200
+	for seed := 0; seed < schedules; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runModelSchedule(t, int64(seed))
+		})
+	}
+}
+
+const (
+	modelSteps   = 40
+	modelMaxFile = 16 << 10 // 4 pages of 4 KiB
+)
+
+// modelView is one GPU's modelled state for one file.
+type modelView struct {
+	view  []byte // local view: host-as-adopted + local writes
+	valid bool   // recorded generation still matches the host's
+	dirty bool   // local writes not yet propagated
+	open  bool
+	wr    bool
+	fd    int
+}
+
+// modelFile is one file's modelled state.
+type modelFile struct {
+	path string
+	host []byte // host content
+	gpus []modelView
+}
+
+// writer returns the GPU holding the file open writable, or -1.
+func (mf *modelFile) writer() int {
+	for g := range mf.gpus {
+		if mf.gpus[g].open && mf.gpus[g].wr {
+			return g
+		}
+	}
+	return -1
+}
+
+// openAnywhere reports whether any GPU holds the file open.
+func (mf *modelFile) openAnywhere() bool {
+	for g := range mf.gpus {
+		if mf.gpus[g].open {
+			return true
+		}
+	}
+	return false
+}
+
+func runModelSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed*7919 + 1))
+	numGPUs := 2 + int(seed%2)
+	numFiles := 2 + rng.Intn(2)
+
+	opt := Options{
+		PageSize: 4 << 10,
+		// 32 frames per GPU against at most 12 resident pages: the model
+		// assumes no eviction (asserted below).
+		CacheBytes:          128 << 10,
+		APICostPerPage:      7 * simtime.Microsecond,
+		RadixLookupLockFree: 35,
+		RadixLookupLocked:   550,
+	}
+	h := newHarness(t, numGPUs, opt)
+
+	files := make([]*modelFile, numFiles)
+	for i := range files {
+		content := make([]byte, 1+rng.Intn(modelMaxFile))
+		rng.Read(content)
+		mf := &modelFile{
+			path: fmt.Sprintf("/model-f%d", i),
+			host: content,
+			gpus: make([]modelView, numGPUs),
+		}
+		h.write(t, mf.path, content)
+		files[i] = mf
+	}
+
+	// doOpen opens mf on GPU g (keeping or adopting the view per the
+	// model) and records the descriptor.
+	doOpen := func(g int, mf *modelFile, flags int, wr bool) {
+		st := &mf.gpus[g]
+		h.run(t, g, func(b *gpu.Block) error {
+			fd, err := h.fss[g].Open(b, mf.path, flags)
+			if err != nil {
+				return fmt.Errorf("gpu%d open %s: %w", g, mf.path, err)
+			}
+			st.fd = fd
+			return nil
+		})
+		if !st.valid {
+			st.view = append([]byte(nil), mf.host...)
+			st.dirty = false
+			st.valid = true
+		}
+		st.open, st.wr = true, wr
+	}
+
+	// readCheck reads [off, off+n) on GPU g and compares against the view.
+	readCheck := func(step, g int, mf *modelFile, off, n int) {
+		st := &mf.gpus[g]
+		want := 0
+		if off < len(st.view) {
+			want = min(n, len(st.view)-off)
+		}
+		h.run(t, g, func(b *gpu.Block) error {
+			buf := make([]byte, n)
+			got, err := h.fss[g].Read(b, st.fd, buf, int64(off))
+			if err != nil {
+				return fmt.Errorf("step %d gpu%d read %s at %d: %w", step, g, mf.path, off, err)
+			}
+			if got != want {
+				return fmt.Errorf("step %d gpu%d read %s at %d: got %d bytes, model says %d",
+					step, g, mf.path, off, got, want)
+			}
+			if got > 0 && !bytes.Equal(buf[:got], st.view[off:off+got]) {
+				return fmt.Errorf("step %d gpu%d read %s at %d+%d: content diverges from model",
+					step, g, mf.path, off, got)
+			}
+			return nil
+		})
+	}
+
+	for step := 0; step < modelSteps; step++ {
+		g := rng.Intn(numGPUs)
+		mf := files[rng.Intn(numFiles)]
+		st := &mf.gpus[g]
+
+		switch op := rng.Intn(100); {
+		case op < 22: // gopen
+			// The model gives every resident page snapshot-at-open
+			// semantics, but the implementation faults untouched pages
+			// lazily from the CURRENT host content — so a reader that
+			// stays open across another GPU's gfsync observes a mix the
+			// model cannot predict. The generator therefore makes writers
+			// exclusive: a writable open requires the file closed
+			// everywhere, and nobody opens while a writer is active.
+			// Concurrent readers remain fair game.
+			if st.open || mf.writer() >= 0 {
+				continue
+			}
+			flags, wr := O_RDONLY, false
+			if !mf.openAnywhere() && rng.Intn(2) == 0 {
+				flags, wr = O_RDWR, true
+			}
+			doOpen(g, mf, flags, wr)
+
+		case op < 47: // gread
+			if !st.open {
+				continue
+			}
+			readCheck(step, g, mf, rng.Intn(modelMaxFile), 1+rng.Intn(6<<10))
+
+		case op < 57: // gmmap + read through the mapping
+			if !st.open || len(st.view) == 0 {
+				continue
+			}
+			off := rng.Intn(len(st.view))
+			length := 1 + rng.Intn(8<<10)
+			ps := int(opt.PageSize)
+			want := min(length, (off/ps+1)*ps-off) // page-prefix semantics
+			want = min(want, len(st.view)-off)     // EOF clamp
+			h.run(t, g, func(b *gpu.Block) error {
+				m, err := h.fss[g].Mmap(b, st.fd, int64(off), int64(length))
+				if err != nil {
+					return fmt.Errorf("step %d gpu%d mmap %s at %d+%d: %w", step, g, mf.path, off, length, err)
+				}
+				if len(m.Data) != want {
+					m.Munmap(b)
+					return fmt.Errorf("step %d gpu%d mmap %s at %d: mapped %d bytes, model says %d",
+						step, g, mf.path, off, len(m.Data), want)
+				}
+				if !bytes.Equal(m.Data, st.view[off:off+want]) {
+					m.Munmap(b)
+					return fmt.Errorf("step %d gpu%d mmap %s at %d+%d: content diverges from model",
+						step, g, mf.path, off, want)
+				}
+				return m.Munmap(b)
+			})
+
+		case op < 79: // gwrite
+			if !st.open || !st.wr {
+				continue
+			}
+			off := rng.Intn(modelMaxFile - 1)
+			n := 1 + rng.Intn(min(4<<10, modelMaxFile-off))
+			data := make([]byte, n)
+			rng.Read(data)
+			h.run(t, g, func(b *gpu.Block) error {
+				got, err := h.fss[g].Write(b, st.fd, data, int64(off))
+				if err != nil {
+					return fmt.Errorf("step %d gpu%d write %s at %d: %w", step, g, mf.path, off, err)
+				}
+				if got != n {
+					return fmt.Errorf("step %d gpu%d write %s at %d: wrote %d of %d", step, g, mf.path, off, got, n)
+				}
+				return nil
+			})
+			if off+n > len(st.view) {
+				grown := make([]byte, off+n)
+				copy(grown, st.view)
+				st.view = grown
+			}
+			copy(st.view[off:], data)
+			st.dirty = true
+
+		case op < 89: // gfsync
+			if !st.open || !st.wr {
+				continue
+			}
+			h.run(t, g, func(b *gpu.Block) error {
+				if err := h.fss[g].Fsync(b, st.fd); err != nil {
+					return fmt.Errorf("step %d gpu%d fsync %s: %w", step, g, mf.path, err)
+				}
+				return nil
+			})
+			if st.dirty {
+				mf.host = append([]byte(nil), st.view...)
+				for gi := range mf.gpus {
+					if gi != g {
+						mf.gpus[gi].valid = false
+					}
+				}
+				st.dirty = false
+			}
+
+		case op < 94: // gclose (view survives in the closed file table)
+			if !st.open {
+				continue
+			}
+			h.run(t, g, func(b *gpu.Block) error {
+				return h.fss[g].Close(b, st.fd)
+			})
+			st.open, st.wr = false, false
+
+		default: // external host write while the file is closed everywhere
+			if mf.openAnywhere() {
+				continue
+			}
+			data := make([]byte, 1+rng.Intn(modelMaxFile))
+			rng.Read(data)
+			h.write(t, mf.path, data)
+			mf.host = append([]byte(nil), data...)
+			for gi := range mf.gpus {
+				mf.gpus[gi].valid = false
+			}
+		}
+	}
+
+	// Tear down: sync writers (so their views reach the host), close all.
+	for _, mf := range files {
+		for g := range mf.gpus {
+			st := &mf.gpus[g]
+			if !st.open {
+				continue
+			}
+			if st.wr {
+				h.run(t, g, func(b *gpu.Block) error {
+					return h.fss[g].Fsync(b, st.fd)
+				})
+				if st.dirty {
+					mf.host = append([]byte(nil), st.view...)
+					for gi := range mf.gpus {
+						if gi != g {
+							mf.gpus[gi].valid = false
+						}
+					}
+					st.dirty = false
+				}
+			}
+			h.run(t, g, func(b *gpu.Block) error {
+				return h.fss[g].Close(b, st.fd)
+			})
+			st.open, st.wr = false, false
+		}
+	}
+
+	// Close-to-open pass: every GPU reopens every file and must observe
+	// either its still-valid cached view or the current host content.
+	for _, mf := range files {
+		for g := 0; g < numGPUs; g++ {
+			doOpen(g, mf, O_RDONLY, false)
+			readCheck(modelSteps, g, mf, 0, modelMaxFile)
+			st := &mf.gpus[g]
+			h.run(t, g, func(b *gpu.Block) error {
+				return h.fss[g].Close(b, st.fd)
+			})
+			st.open = false
+		}
+	}
+
+	// The host itself must match the model.
+	for _, mf := range files {
+		if got := h.read(t, mf.path); !bytes.Equal(got, mf.host) {
+			t.Errorf("host content of %s diverges from model: %d vs %d bytes", mf.path, len(got), len(mf.host))
+		}
+	}
+
+	// The model is only sound if nothing was evicted behind its back.
+	for g, fs := range h.fss {
+		if n := fs.Cache().Reclaimed(); n != 0 {
+			t.Fatalf("gpu%d evicted %d pages; the model assumes none (grow the cache)", g, n)
+		}
+	}
+}

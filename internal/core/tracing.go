@@ -20,6 +20,10 @@ func (fs *FS) record(b *gpu.Block, op trace.Op, path string, off, n int64, start
 // not run on a threadblock's clock (the background cleaner reports a
 // negative block index).
 func (fs *FS) recordAt(block int, op trace.Op, path string, off, n int64, start, end simtime.Time, err error) {
+	// The metrics hook shares the tracer's op names and spans, so a
+	// histogram's op label selects the same population a trace filter on
+	// that op would.
+	fs.met.observeOp(op, start, end)
 	if !fs.tracer.Enabled() {
 		return
 	}

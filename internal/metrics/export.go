@@ -1,0 +1,261 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promQuote renders a label value with Prometheus escaping and quotes.
+func promQuote(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// promLabels renders {k="v",...} for base labels plus optional extras
+// (used for the le label of histogram buckets). Empty when no labels.
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Key + "=" + promQuote(l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trippable representation, with +Inf spelled that way.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WritePrometheus writes every series in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one TYPE line per
+// family, HELP lines where set, histograms expanded into cumulative
+// _bucket{le=...} series plus _sum and _count. Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	samples := r.Snapshot()
+	var lastFamily string
+	for _, s := range samples {
+		if s.Name != lastFamily {
+			if help := r.helpFor(s.Name); help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, strings.ReplaceAll(help, "\n", " ")); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastFamily = s.Name
+		}
+		if err := writePromSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromSample(w io.Writer, s Sample) error {
+	if s.Kind != "histogram" {
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, promLabels(s.Labels), s.Value)
+		return err
+	}
+	for _, b := range s.Buckets {
+		le := Label{Key: "le", Value: formatFloat(b.LE)}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, le), b.Count); err != nil {
+			return err
+		}
+	}
+	inf := Label{Key: "le", Value: "+Inf"}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, inf), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels), formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels), s.Count)
+	return err
+}
+
+// WriteNDJSON writes one JSON object per series, newline-delimited, in
+// snapshot order. Histogram buckets are cumulative, bounds in the export
+// unit (seconds for duration histograms). Nil-safe.
+func (r *Registry) WriteNDJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, s := range r.Snapshot() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quantile estimates the q-th quantile (0 < q ≤ 1) of a histogram sample
+// from its cumulative buckets (upper-bound attribution), 0 when empty.
+func quantile(s Sample, q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range s.Buckets {
+		if b.Count >= rank {
+			return b.LE
+		}
+	}
+	if n := len(s.Buckets); n > 0 {
+		return s.Buckets[n-1].LE
+	}
+	return 0
+}
+
+// subsystemOf extracts the subsystem token from a metric name of the
+// documented gpufs_<subsystem>_... schema ("" otherwise).
+func subsystemOf(name string) string {
+	rest, ok := strings.CutPrefix(name, "gpufs_")
+	if !ok {
+		return ""
+	}
+	sub, _, ok := strings.Cut(rest, "_")
+	if !ok {
+		return ""
+	}
+	return sub
+}
+
+// WriteSummary renders the top-line, human-readable end-of-run table:
+// one row per metric family, grouped by subsystem, counters and gauges
+// summed across label sets, histograms shown as count/p50/p99. Nil-safe.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	samples := r.Snapshot()
+
+	type row struct {
+		subsystem, metric, value string
+	}
+	var rows []row
+	for i := 0; i < len(samples); {
+		j := i
+		var total int64
+		var count int64
+		merged := Sample{Kind: samples[i].Kind}
+		for ; j < len(samples) && samples[j].Name == samples[i].Name; j++ {
+			total += samples[j].Value
+			count += samples[j].Count
+			merged.Sum += samples[j].Sum
+			merged.Buckets = append(merged.Buckets, samples[j].Buckets...)
+		}
+		s := samples[i]
+		rw := row{subsystem: subsystemOf(s.Name), metric: s.Name}
+		if s.Kind == "histogram" {
+			// Re-accumulate the concatenated per-series cumulative
+			// buckets into one merged cumulative distribution.
+			merged.Count = count
+			merged.Buckets = mergeCumulative(samples[i:j])
+			unit := ""
+			scale := 1.0
+			if strings.HasSuffix(s.Name, "_seconds") {
+				unit, scale = "µs", 1e6
+			}
+			rw.value = fmt.Sprintf("n=%d p50=%.4g%s p99=%.4g%s mean=%.4g%s",
+				count,
+				quantile(merged, 0.50)*scale, unit,
+				quantile(merged, 0.99)*scale, unit,
+				safeDiv(merged.Sum, float64(count))*scale, unit)
+		} else {
+			rw.value = fmt.Sprintf("%d", total)
+		}
+		rows = append(rows, rw)
+		i = j
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if rows[a].subsystem != rows[b].subsystem {
+			return rows[a].subsystem < rows[b].subsystem
+		}
+		return rows[a].metric < rows[b].metric
+	})
+
+	wMetric := len("metric")
+	for _, rw := range rows {
+		if len(rw.metric) > wMetric {
+			wMetric = len(rw.metric)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %-*s %s\n", "subsystem", wMetric, "metric", "value"); err != nil {
+		return err
+	}
+	for _, rw := range rows {
+		sub := rw.subsystem
+		if sub == "" {
+			sub = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %-*s %s\n", sub, wMetric, rw.metric, rw.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeCumulative merges the cumulative bucket lists of several samples
+// of one histogram family into a single cumulative list over the union
+// of bounds.
+func mergeCumulative(samples []Sample) []Bucket {
+	// Convert each to per-bucket deltas keyed by bound, sum, re-accumulate.
+	deltas := map[float64]int64{}
+	for _, s := range samples {
+		prev := int64(0)
+		for _, b := range s.Buckets {
+			deltas[b.LE] += b.Count - prev
+			prev = b.Count
+		}
+	}
+	bounds := make([]float64, 0, len(deltas))
+	for le := range deltas {
+		bounds = append(bounds, le)
+	}
+	sort.Float64s(bounds)
+	out := make([]Bucket, 0, len(bounds))
+	cum := int64(0)
+	for _, le := range bounds {
+		cum += deltas[le]
+		out = append(out, Bucket{LE: le, Count: cum})
+	}
+	return out
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

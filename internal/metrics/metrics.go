@@ -1,0 +1,442 @@
+// Package metrics is a virtual-time-aware metrics registry for the GPUfs
+// simulation: counters, gauges, and log-linear latency histograms keyed by
+// subsystem/op labels, exportable as Prometheus text format and NDJSON.
+//
+// Two properties shape the design:
+//
+//   - Observation-only. Every instrument records values the simulation
+//     already computed (virtual timestamps read off simtime clocks, byte
+//     counts, queue depths). Nothing here acquires a simtime.Resource or
+//     advances a clock, so enabling metrics NEVER perturbs virtual timing:
+//     a run with metrics on is bit-identical in virtual time to the same
+//     run with metrics off.
+//   - Near-zero cost when disabled. Subsystems hold a nil instrument
+//     struct when metrics are off and guard every hook with one pointer
+//     test — the same idiom as trace.Tracer. The registry itself is only
+//     touched at attach time and at snapshot time, never per-operation.
+//
+// Instruments are identified by (name, label pairs); GetOrCreate semantics
+// make it safe to share one Registry across several gpufs.Systems (the
+// bench driver aggregates a whole experiment sweep into one registry) and
+// to re-resolve the same handle from multiple goroutines. Existing atomic
+// counters elsewhere in the tree (core.CacheStats, rpc transport counters,
+// pcie byte counters) are surfaced through CounterFunc/GaugeFunc
+// collectors read at snapshot time, so those hot paths pay nothing new.
+//
+// Histograms are log-linear over non-negative int64 observations: buckets
+// 0..3 are exact, then each power-of-two major is split into 4 linear
+// sub-buckets (2 significant bits everywhere, ≤ 25% relative bucket
+// width). Duration histograms observe virtual nanoseconds and export in
+// seconds; value histograms (batch occupancy, scatter segments) export
+// raw. See DESIGN.md §10 for the label schema.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gpufs/internal/simtime"
+)
+
+// Counter is a monotonically increasing int64 instrument. All methods are
+// safe on a nil receiver (no-ops), so callers may hold optional handles.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 instrument. Nil-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Max raises the gauge to v if v is larger (monotone high-water mark).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Log-linear histogram geometry: histSubBits significant bits beyond the
+// leading one, i.e. each power-of-two range [2^m, 2^(m+1)) is split into
+// histSubCount equal sub-buckets. 256 buckets cover the full non-negative
+// int64 range ((62-2)*4 + 4 + 4 = 248 indices used).
+const (
+	histSubBits  = 2
+	histSubCount = 1 << histSubBits
+	histBuckets  = 256
+)
+
+// bucketIndex maps a non-negative observation to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	major := 63 - bits.LeadingZeros64(uint64(v))
+	idx := (major-histSubBits)*histSubCount + histSubCount +
+		int((uint64(v)>>(uint(major)-histSubBits))&(histSubCount-1))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i: the largest
+// observation that lands in it. Exact for every bucket except the
+// catch-all last one.
+func bucketUpper(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	major := (i-histSubCount)/histSubCount + histSubBits
+	sub := (i - histSubCount) % histSubCount
+	lower := int64(1)<<uint(major) | int64(sub)<<uint(major-histSubBits)
+	return lower + int64(1)<<uint(major-histSubBits) - 1
+}
+
+// Histogram is a lock-free log-linear histogram of non-negative int64
+// observations. Duration histograms observe virtual nanoseconds (scale
+// 1e-9: bounds and sum export in seconds); value histograms export raw.
+// Nil-safe like Counter.
+type Histogram struct {
+	scale   float64
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one observation. Negative values clamp to 0.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveDuration records a virtual duration (in nanoseconds).
+func (h *Histogram) ObserveDuration(d simtime.Duration) { h.Observe(int64(d)) }
+
+// ObserveSpan records the virtual span end−start, as read off a clock the
+// simulation already advanced — the observation-only histogram hook.
+func (h *Histogram) ObserveSpan(start, end simtime.Time) { h.Observe(int64(end.Sub(start))) }
+
+// Count reads the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// instrument kinds for conflict checks and export.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// Label is one key/value pair of a series' identity.
+type Label struct{ Key, Value string }
+
+// series is one (name, labels) instrument. Exactly one of c/g/h/fns is
+// populated; fns collectors of the same identity are summed at snapshot.
+type series struct {
+	name   string
+	labels []Label
+	kind   kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fns    []func() int64
+}
+
+// Registry owns a set of instruments. The zero value is not usable; call
+// New. A nil *Registry is safe to snapshot (empty) and to test with
+// Enabled (false); instrument lookup methods require a non-nil receiver —
+// subsystems gate attachment on the registry pointer itself.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu     sync.Mutex
+	series map[string]*series
+	kinds  map[string]kind // family name → kind (one kind per name)
+	help   map[string]string
+}
+
+// New returns an enabled, empty registry.
+func New() *Registry {
+	r := &Registry{
+		series: make(map[string]*series),
+		kinds:  make(map[string]kind),
+		help:   make(map[string]string),
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// Enabled reports whether the registry collects; nil-safe.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled toggles collection-side gates that consult Enabled.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// SetHelp records the HELP text exported for the metric family name.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// seriesKey canonicalizes (name, sorted labels) into a map key.
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// parseLabels turns a variadic k1,v1,k2,v2 list into sorted Labels.
+func parseLabels(name string, kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list %q", name, kv))
+	}
+	labels := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		labels = append(labels, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	return labels
+}
+
+// get resolves-or-creates the series, enforcing one kind per family name.
+func (r *Registry) get(name string, k kind, kv []string) *series {
+	labels := parseLabels(name, kv)
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.kinds[name]; ok && have != k {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, have, k))
+	}
+	r.kinds[name] = k
+	s := r.series[key]
+	if s == nil {
+		s = &series{name: name, labels: labels, kind: k}
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = &Histogram{scale: 1}
+		}
+		r.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Labels are alternating key, value strings.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.get(name, kindCounter, labels).c
+}
+
+// Gauge returns the gauge for (name, labels).
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.get(name, kindGauge, labels).g
+}
+
+// Histogram returns the raw-value histogram for (name, labels).
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	return r.get(name, kindHistogram, labels).h
+}
+
+// DurationHistogram returns the histogram for (name, labels) whose
+// observations are virtual nanoseconds and whose export unit is seconds.
+func (r *Registry) DurationHistogram(name string, labels ...string) *Histogram {
+	h := r.get(name, kindHistogram, labels).h
+	h.scale = 1e-9
+	return h
+}
+
+// CounterFunc registers fn as a counter collector for (name, labels),
+// read at snapshot time. Several collectors on one identity are summed —
+// the idiom for surfacing pre-existing atomic counters (CacheStats, rpc
+// transport counters) without adding hot-path work, and for aggregating
+// across Systems sharing a registry. fn must be safe to call from any
+// goroutine and must not call back into the registry.
+func (r *Registry) CounterFunc(name string, fn func() int64, labels ...string) {
+	s := r.get(name, kindCounter, labels)
+	r.mu.Lock()
+	s.c = nil
+	s.fns = append(s.fns, fn)
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers fn as a gauge collector for (name, labels); like
+// CounterFunc, several collectors on one identity are summed.
+func (r *Registry) GaugeFunc(name string, fn func() int64, labels ...string) {
+	s := r.get(name, kindGauge, labels)
+	r.mu.Lock()
+	s.g = nil
+	s.fns = append(s.fns, fn)
+	r.mu.Unlock()
+}
+
+// Bucket is one cumulative histogram bucket: Count observations ≤ LE (in
+// the histogram's export unit).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Sample is one series' state at snapshot time.
+type Sample struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	// Value carries counters and gauges.
+	Value int64 `json:"value,omitempty"`
+	// Count, Sum, Buckets carry histograms; Sum is in the export unit.
+	Count   int64    `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// LabelString renders the sample's labels as k="v" pairs (empty when
+// unlabeled), the Prometheus inner form.
+func (s Sample) LabelString() string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(s.Labels))
+	for i, l := range s.Labels {
+		parts[i] = l.Key + "=" + promQuote(l.Value)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Snapshot reads every series into a stable, sorted sample list. Nil-safe
+// (returns nil). Collectors run with the registry lock held; they must
+// not re-enter the registry.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.series))
+	for _, s := range r.series {
+		sm := Sample{Name: s.name, Labels: s.labels, Kind: s.kind.String()}
+		switch {
+		case len(s.fns) > 0:
+			for _, fn := range s.fns {
+				sm.Value += fn()
+			}
+		case s.c != nil:
+			sm.Value = s.c.Value()
+		case s.g != nil:
+			sm.Value = s.g.Value()
+		case s.h != nil:
+			sm.Count = s.h.count.Load()
+			sm.Sum = float64(s.h.sum.Load()) * s.h.scale
+			cum := int64(0)
+			for i := 0; i < histBuckets; i++ {
+				n := s.h.buckets[i].Load()
+				if n == 0 {
+					continue
+				}
+				cum += n
+				sm.Buckets = append(sm.Buckets, Bucket{
+					LE:    float64(bucketUpper(i)) * s.h.scale,
+					Count: cum,
+				})
+			}
+		}
+		out = append(out, sm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].LabelString() < out[j].LabelString()
+	})
+	return out
+}
+
+// helpFor returns the HELP text for name ("" when unset).
+func (r *Registry) helpFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
+}

@@ -1,0 +1,339 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpufs/internal/simtime"
+)
+
+// TestBucketBoundaries pins the log-linear geometry: exact buckets below
+// histSubCount, then four linear sub-buckets per power of two, and every
+// value landing in a bucket whose bounds contain it.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3},
+		{4, 4}, {5, 5}, {6, 6}, {7, 7},
+		{8, 8}, {9, 8}, {10, 9}, {11, 9}, {12, 10}, {14, 11}, {15, 11},
+		{16, 12}, {19, 12}, {20, 13}, {24, 14}, {28, 15}, {31, 15},
+		{32, 16},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Bucket bounds partition the space: bucketUpper(i)+1 is the smallest
+	// value of bucket i+1, and every value maps into its own bounds. The
+	// largest reachable bucket is 247 (major 62 of an int64); indices past
+	// it are padding.
+	const maxReachable = (62-histSubBits)*histSubCount + histSubCount + histSubCount - 1
+	if got := bucketIndex(math.MaxInt64); got != maxReachable {
+		t.Fatalf("bucketIndex(MaxInt64) = %d, want %d", got, maxReachable)
+	}
+	for i := 0; i < maxReachable; i++ {
+		up := bucketUpper(i)
+		if got := bucketIndex(up); got != i {
+			t.Fatalf("upper bound %d of bucket %d maps to bucket %d", up, i, got)
+		}
+		if up+1 > 0 {
+			if got := bucketIndex(up + 1); got != i+1 {
+				t.Fatalf("value %d (past bucket %d) maps to bucket %d, want %d", up+1, i, got, i+1)
+			}
+		}
+	}
+	// Relative bucket width stays ≤ 25% beyond the exact range.
+	for i := histSubCount; i < 40; i++ {
+		lo := bucketUpper(i-1) + 1
+		width := bucketUpper(i) - lo + 1
+		if float64(width)/float64(lo) > 0.25+1e-9 {
+			t.Errorf("bucket %d [%d,%d] wider than 25%% of its lower bound", i, lo, bucketUpper(i))
+		}
+	}
+}
+
+// TestHistogramObserve checks count/sum and negative clamping.
+func TestHistogramObserve(t *testing.T) {
+	r := New()
+	h := r.DurationHistogram("gpufs_test_latency_seconds", "op", "read")
+	h.ObserveDuration(1500 * simtime.Nanosecond)
+	h.ObserveSpan(simtime.Time(100), simtime.Time(1100))
+	h.Observe(-5) // clamps to 0
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d samples, want 1", len(snap))
+	}
+	s := snap[0]
+	if s.Count != 3 {
+		t.Fatalf("sample count = %d", s.Count)
+	}
+	if want := 2500e-9; math.Abs(s.Sum-want) > 1e-15 {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+	// Cumulative buckets end at the full count.
+	if n := len(s.Buckets); n == 0 || s.Buckets[n-1].Count != 3 {
+		t.Fatalf("buckets %+v do not accumulate to 3", s.Buckets)
+	}
+}
+
+// TestCounterMonotonicityConcurrent hammers one counter, one gauge, and
+// one histogram from many goroutines (the -race hot loop) and checks the
+// totals are exact — no lost updates, no torn snapshot reads.
+func TestCounterMonotonicityConcurrent(t *testing.T) {
+	r := New()
+	const workers = 8
+	const perWorker = 10000
+	c := r.Counter("gpufs_test_ops_total", "gpu", "0")
+	h := r.Histogram("gpufs_test_occupancy")
+	var wg sync.WaitGroup
+	var sawDecrease sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			last := int64(-1)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i % 64))
+				if v := c.Value(); v < last {
+					sawDecrease.Store(w, v)
+				} else {
+					last = v
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sawDecrease.Range(func(k, v any) bool {
+		t.Errorf("worker %v observed counter decrease to %v", k, v)
+		return true
+	})
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestNilSafety exercises every nil-receiver path the hot-path gates rely
+// on.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	g.Max(9)
+	h.Observe(1)
+	h.ObserveDuration(simtime.Microsecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Enabled() {
+		t.Fatal("nil registry must report disabled")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil registry must export nothing")
+	}
+}
+
+// TestFuncCollectorsSum checks that several collectors registered on one
+// identity are summed at snapshot time (the shared-registry idiom).
+func TestFuncCollectorsSum(t *testing.T) {
+	r := New()
+	r.CounterFunc("gpufs_core_cache_hits_total", func() int64 { return 7 }, "gpu", "0")
+	r.CounterFunc("gpufs_core_cache_hits_total", func() int64 { return 5 }, "gpu", "0")
+	r.CounterFunc("gpufs_core_cache_hits_total", func() int64 { return 100 }, "gpu", "1")
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d samples, want 2", len(snap))
+	}
+	if snap[0].Value != 7+5 || snap[1].Value != 100 {
+		t.Fatalf("collector sums wrong: %+v", snap)
+	}
+}
+
+// TestKindConflictPanics pins the one-kind-per-family invariant.
+func TestKindConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("gpufs_test_x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r.Gauge("gpufs_test_x_total")
+}
+
+// TestPrometheusRoundTrip exports a representative registry and validates
+// it with the strict parser: families, labels (including characters that
+// need escaping), and histogram invariants must all survive.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := New()
+	r.SetHelp("gpufs_rpc_requests_total", "RPC requests issued per ring shard")
+	r.Counter("gpufs_rpc_requests_total", "gpu", "0", "shard", "0").Add(12)
+	r.Counter("gpufs_rpc_requests_total", "gpu", "0", "shard", "1").Add(34)
+	r.Gauge("gpufs_serve_queue_depth", "gpu", "0").Set(3)
+	r.Counter("gpufs_test_weird_total", "path", "/a\"b\\c\nd").Inc()
+	h := r.DurationHistogram("gpufs_core_op_latency_seconds", "gpu", "0", "op", "gread")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 317)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse failed: %v\n%s", err, buf.String())
+	}
+	rf := fams["gpufs_rpc_requests_total"]
+	if rf == nil || rf.Type != "counter" || len(rf.Samples) != 2 {
+		t.Fatalf("rpc family wrong: %+v", rf)
+	}
+	if rf.Help == "" {
+		t.Fatal("HELP text lost")
+	}
+	if rf.Samples[0].Value+rf.Samples[1].Value != 46 {
+		t.Fatalf("counter values wrong: %+v", rf.Samples)
+	}
+	wf := fams["gpufs_test_weird_total"]
+	if wf == nil || wf.Samples[0].Labels["path"] != "/a\"b\\c\nd" {
+		t.Fatalf("label escaping broken: %+v", wf)
+	}
+	hf := fams["gpufs_core_op_latency_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hf)
+	}
+	var count, inf float64
+	for _, s := range hf.Samples {
+		if s.Name == "gpufs_core_op_latency_seconds_count" {
+			count = s.Value
+		}
+		if s.Name == "gpufs_core_op_latency_seconds_bucket" && s.Labels["le"] == "+Inf" {
+			inf = s.Value
+		}
+	}
+	if count != 100 || inf != 100 {
+		t.Fatalf("histogram count %v / +Inf %v, want 100/100", count, inf)
+	}
+}
+
+// TestStrictParserRejects feeds the parser malformed expositions a loose
+// parser would wave through.
+func TestStrictParserRejects(t *testing.T) {
+	bad := map[string]string{
+		"sample before TYPE":  "gpufs_x_total 1\n",
+		"bad name":            "# TYPE 0bad counter\n0bad 1\n",
+		"bad value":           "# TYPE gpufs_x_total counter\ngpufs_x_total one\n",
+		"duplicate series":    "# TYPE gpufs_x_total counter\ngpufs_x_total 1\ngpufs_x_total 2\n",
+		"bad escape":          "# TYPE gpufs_x_total counter\ngpufs_x_total{a=\"\\q\"} 1\n",
+		"unterminated labels": "# TYPE gpufs_x_total counter\ngpufs_x_total{a=\"v\" 1\n",
+		"bad type":            "# TYPE gpufs_x_total banana\n",
+		"duplicate label":     "# TYPE gpufs_x_total counter\ngpufs_x_total{a=\"1\",a=\"2\"} 1\n",
+		"histogram no inf": "# TYPE gpufs_h histogram\n" +
+			"gpufs_h_bucket{le=\"1\"} 1\ngpufs_h_sum 1\ngpufs_h_count 1\n",
+		"histogram count mismatch": "# TYPE gpufs_h histogram\n" +
+			"gpufs_h_bucket{le=\"1\"} 1\ngpufs_h_bucket{le=\"+Inf\"} 1\ngpufs_h_sum 1\ngpufs_h_count 2\n",
+		"histogram non-cumulative": "# TYPE gpufs_h histogram\n" +
+			"gpufs_h_bucket{le=\"1\"} 5\ngpufs_h_bucket{le=\"2\"} 3\n" +
+			"gpufs_h_bucket{le=\"+Inf\"} 5\ngpufs_h_sum 1\ngpufs_h_count 5\n",
+		"histogram le out of order": "# TYPE gpufs_h histogram\n" +
+			"gpufs_h_bucket{le=\"2\"} 1\ngpufs_h_bucket{le=\"1\"} 2\n" +
+			"gpufs_h_bucket{le=\"+Inf\"} 2\ngpufs_h_sum 1\ngpufs_h_count 2\n",
+	}
+	for name, text := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parser accepted malformed input:\n%s", name, text)
+		}
+	}
+	// And a well-formed exposition with timestamps parses.
+	good := "# HELP gpufs_x_total ok\n# TYPE gpufs_x_total counter\ngpufs_x_total{a=\"b\"} 1 1712000000\n"
+	if _, err := ParsePrometheus(strings.NewReader(good)); err != nil {
+		t.Errorf("rejected well-formed input: %v", err)
+	}
+}
+
+// TestNDJSONExport checks every line is valid JSON with the documented
+// fields.
+func TestNDJSONExport(t *testing.T) {
+	r := New()
+	r.Counter("gpufs_pcie_bytes_total", "gpu", "0", "dir", "H2D").Add(4096)
+	r.DurationHistogram("gpufs_pcie_latency_seconds", "gpu", "0", "dir", "H2D").Observe(1000)
+	var buf bytes.Buffer
+	if err := r.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var s Sample
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if !strings.HasPrefix(s.Name, "gpufs_pcie_") || s.Kind == "" {
+			t.Fatalf("NDJSON sample missing fields: %q", line)
+		}
+	}
+}
+
+// TestSummaryTable smoke-checks the end-of-run renderer.
+func TestSummaryTable(t *testing.T) {
+	r := New()
+	r.Counter("gpufs_core_cache_hits_total", "gpu", "0").Add(10)
+	r.Counter("gpufs_core_cache_hits_total", "gpu", "1").Add(20)
+	h := r.DurationHistogram("gpufs_rpc_service_time_seconds", "gpu", "0", "op", "read", "shard", "0")
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(1000 + i))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "gpufs_core_cache_hits_total") || !strings.Contains(out, "30") {
+		t.Errorf("summary missing summed counter:\n%s", out)
+	}
+	if !strings.Contains(out, "n=100") || !strings.Contains(out, "p50=") {
+		t.Errorf("summary missing histogram stats:\n%s", out)
+	}
+}
+
+// TestQuantileMerge pins the quantile estimate and multi-series merge.
+func TestQuantileMerge(t *testing.T) {
+	r := New()
+	a := r.Histogram("gpufs_test_vals", "gpu", "0")
+	b := r.Histogram("gpufs_test_vals", "gpu", "1")
+	for i := int64(0); i < 50; i++ {
+		a.Observe(1) // 50 low observations
+		b.Observe(64)
+	}
+	snap := r.Snapshot()
+	merged := Sample{Count: snap[0].Count + snap[1].Count, Buckets: mergeCumulative(snap)}
+	if q := quantile(merged, 0.25); q != 1 {
+		t.Errorf("p25 = %v, want 1", q)
+	}
+	if q := quantile(merged, 0.99); q < 64 {
+		t.Errorf("p99 = %v, want ≥ 64", q)
+	}
+}

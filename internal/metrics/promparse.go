@@ -1,0 +1,406 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a strict parser for the Prometheus text exposition format
+// (version 0.0.4), used by the test suite to validate WritePrometheus
+// output the way a real scraper would — plus consistency checks a scraper
+// only performs implicitly (TYPE before samples, histogram bucket
+// monotonicity, _count/_sum agreement, no duplicate series).
+
+// ParsedSample is one exposition line's sample.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family: its declared TYPE and samples in
+// file order. For histograms, Samples holds the raw _bucket/_sum/_count
+// series.
+type ParsedFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []ParsedSample
+}
+
+// ParsePrometheus parses and validates Prometheus text format strictly:
+// every error a conforming scraper could object to — malformed names or
+// escapes, samples before their TYPE, duplicate series, histogram
+// buckets that are non-cumulative, unordered, or disagree with _count —
+// fails the parse. Returns families keyed by name.
+func ParsePrometheus(r io.Reader) (map[string]*ParsedFamily, error) {
+	families := map[string]*ParsedFamily{}
+	seen := map[string]bool{} // duplicate full-series detection
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		famName := familyOf(s.Name, families)
+		fam := families[famName]
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s before any TYPE declaration", lineNo, s.Name)
+		}
+		sig := s.Name + "|" + signature(s.Labels)
+		if seen[sig] {
+			return nil, fmt.Errorf("line %d: duplicate series %s{%s}", lineNo, s.Name, signature(s.Labels))
+		}
+		seen[sig] = true
+		if err := checkSuffix(fam, s.Name); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, fmt.Errorf("family %s: %w", fam.Name, err)
+			}
+		}
+	}
+	return families, nil
+}
+
+// familyOf maps a sample name to its family, peeling histogram suffixes
+// when the base family is a declared histogram.
+func familyOf(name string, families map[string]*ParsedFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f, ok := families[base]; ok && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// checkSuffix rejects sample names that do not belong to the family.
+func checkSuffix(fam *ParsedFamily, sampleName string) error {
+	if fam.Type == "histogram" {
+		switch {
+		case sampleName == fam.Name+"_bucket",
+			sampleName == fam.Name+"_sum",
+			sampleName == fam.Name+"_count":
+			return nil
+		}
+		return fmt.Errorf("histogram family %s has non-histogram sample %s", fam.Name, sampleName)
+	}
+	if sampleName != fam.Name {
+		return fmt.Errorf("sample %s does not match family %s", sampleName, fam.Name)
+	}
+	return nil
+}
+
+func parseComment(line string, families map[string]*ParsedFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("invalid TYPE %q", typ)
+		}
+		if f := families[name]; f != nil {
+			if len(f.Samples) > 0 || f.Type != "" {
+				return fmt.Errorf("second TYPE line for %s", name)
+			}
+			f.Type = typ
+			return nil
+		}
+		families[name] = &ParsedFamily{Name: name, Type: typ}
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		if f := families[name]; f != nil {
+			f.Help = help
+		} else {
+			families[name] = &ParsedFamily{Name: name, Help: help}
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSampleLine parses `name[{labels}] value [timestamp]`.
+func parseSampleLine(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabelSet(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parsePromValue(f string) (float64, error) {
+	switch f {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(f, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid value %q", f)
+	}
+	return v, nil
+}
+
+// parseLabelSet parses a {k="v",...} block starting at s[0]=='{',
+// returning the index just past the closing brace.
+func parseLabelSet(s string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label set %q", s)
+		}
+		name := s[start:i]
+		if !validLabelName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %s: expected quoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %s: invalid escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = val.String()
+	}
+}
+
+// signature canonicalizes a label map for duplicate detection.
+func signature(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// validateHistogram checks the invariants of one histogram family: per
+// label signature (excluding le), buckets have strictly increasing le,
+// non-decreasing cumulative counts, a +Inf bucket, and a _count sample
+// equal to the +Inf bucket; _sum must be present.
+func validateHistogram(fam *ParsedFamily) error {
+	type hist struct {
+		les      []float64
+		counts   []float64
+		hasInf   bool
+		infCount float64
+		count    *float64
+		sum      *float64
+	}
+	hists := map[string]*hist{}
+	get := func(labels map[string]string) *hist {
+		base := map[string]string{}
+		for k, v := range labels {
+			if k != "le" {
+				base[k] = v
+			}
+		}
+		sig := signature(base)
+		h := hists[sig]
+		if h == nil {
+			h = &hist{}
+			hists[sig] = h
+		}
+		return h
+	}
+	for _, s := range fam.Samples {
+		h := get(s.Labels)
+		switch s.Name {
+		case fam.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket without le label")
+			}
+			le, err := parsePromValue(leStr)
+			if err != nil {
+				return fmt.Errorf("bad le %q", leStr)
+			}
+			if math.IsInf(le, 1) {
+				h.hasInf = true
+				h.infCount = s.Value
+			}
+			h.les = append(h.les, le)
+			h.counts = append(h.counts, s.Value)
+		case fam.Name + "_count":
+			v := s.Value
+			h.count = &v
+		case fam.Name + "_sum":
+			v := s.Value
+			h.sum = &v
+		}
+	}
+	for sig, h := range hists {
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				return fmt.Errorf("series {%s}: le not strictly increasing (%v after %v)", sig, h.les[i], h.les[i-1])
+			}
+			if h.counts[i] < h.counts[i-1] {
+				return fmt.Errorf("series {%s}: cumulative count decreases at le=%v", sig, h.les[i])
+			}
+		}
+		if !h.hasInf {
+			return fmt.Errorf("series {%s}: missing +Inf bucket", sig)
+		}
+		if h.count == nil {
+			return fmt.Errorf("series {%s}: missing _count", sig)
+		}
+		if h.sum == nil {
+			return fmt.Errorf("series {%s}: missing _sum", sig)
+		}
+		if *h.count != h.infCount {
+			return fmt.Errorf("series {%s}: _count %v != +Inf bucket %v", sig, *h.count, h.infCount)
+		}
+	}
+	return nil
+}

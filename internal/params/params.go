@@ -149,6 +149,15 @@ type Config struct {
 	// full host RPC path (ablation of the §4.1 closed-table
 	// optimization).
 	DisableFastReopen bool
+	// MetricsEnabled attaches a metrics registry (internal/metrics) to
+	// the system: per-op latency histograms and counters across the rpc,
+	// pcie, core, and serve subsystems, exportable as Prometheus text or
+	// NDJSON. Collection is observation-only — it records virtual
+	// timestamps the simulation already computed and never acquires a
+	// simulated resource — so enabling it does not change virtual timing
+	// at all. Off by default (no registry, hooks compile to one nil
+	// check).
+	MetricsEnabled bool
 
 	// ---- Compute calibration ----
 

@@ -16,9 +16,11 @@ package pcie
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"gpufs/internal/faults"
+	"gpufs/internal/metrics"
 	"gpufs/internal/simtime"
 )
 
@@ -41,6 +43,7 @@ type Bus struct {
 	membus  *simtime.Resource
 	exclude atomic.Bool
 	links   []*Link
+	met     *metrics.Registry
 
 	// inj injects DMA stalls and bandwidth degradation; nil means none.
 	inj atomic.Pointer[faults.Injector]
@@ -49,6 +52,11 @@ type Bus struct {
 // SetFaultInjector installs (or, with nil, removes) the bus's fault
 // injector; it governs every link.
 func (b *Bus) SetFaultInjector(inj *faults.Injector) { b.inj.Store(inj) }
+
+// SetMetrics attaches a metrics registry to the bus. It must be called
+// before NewLink: each link resolves its instrument handles at creation.
+// A nil registry (the default) keeps every hook at a single pointer test.
+func (b *Bus) SetMetrics(reg *metrics.Registry) { b.met = reg }
 
 // New creates a bus whose staging copies contend on the given host memory
 // bus resource (shared with hostfs page-cache copies). membus may be nil,
@@ -76,8 +84,31 @@ func (b *Bus) NewLink(deviceID int, devMemBW *simtime.Resource, devRate simtime.
 		devbw:   devMemBW,
 		devRate: devRate,
 	}
+	if reg := b.met; reg != nil {
+		gpu := strconv.Itoa(deviceID)
+		m := &linkMetrics{scatterSegs: reg.Counter("gpufs_pcie_scatter_segments_total", "gpu", gpu)}
+		reg.SetHelp("gpufs_pcie_bytes_total", "Bytes moved over the PCIe link per direction")
+		reg.SetHelp("gpufs_pcie_dma_total", "DMA transactions charged on the link")
+		reg.SetHelp("gpufs_pcie_latency_seconds", "Virtual end-to-end DMA transaction latency per direction")
+		reg.SetHelp("gpufs_pcie_scatter_segments_total", "Scatter-gather descriptors walked by vectored DMAs")
+		for dir, ctr := range map[string]*atomic.Int64{"H2D": &l.bytesH2D, "D2H": &l.bytesD2H} {
+			ctr := ctr
+			reg.CounterFunc("gpufs_pcie_bytes_total", ctr.Load, "gpu", gpu, "dir", dir)
+		}
+		reg.CounterFunc("gpufs_pcie_dma_total", l.dmas.Load, "gpu", gpu)
+		m.lat[HostToDevice] = reg.DurationHistogram("gpufs_pcie_latency_seconds", "gpu", gpu, "dir", "H2D")
+		m.lat[DeviceToHost] = reg.DurationHistogram("gpufs_pcie_latency_seconds", "gpu", gpu, "dir", "D2H")
+		l.met = m
+	}
 	b.links = append(b.links, l)
 	return l
+}
+
+// linkMetrics holds a link's pre-resolved instrument handles; nil when
+// metrics are disabled.
+type linkMetrics struct {
+	lat         [2]*metrics.Histogram
+	scatterSegs *metrics.Counter
 }
 
 // Link is the PCIe connection of one GPU.
@@ -92,6 +123,8 @@ type Link struct {
 	bytesH2D atomic.Int64
 	bytesD2H atomic.Int64
 	dmas     atomic.Int64
+
+	met *linkMetrics
 }
 
 // Direction of a transfer.
@@ -130,6 +163,9 @@ func (l *Link) Copy(now simtime.Time, dir Direction, dst, src []byte) (simtime.T
 // read-ahead uses this so a vectored transfer amortizes — but does not
 // erase — the per-page transfer cost that separates Figure 4's page sizes.
 func (l *Link) ChargeScatter(now simtime.Time, dir Direction, n int64, segs int) simtime.Time {
+	if m := l.met; m != nil {
+		m.scatterSegs.Add(int64(segs))
+	}
 	if segs > 1 && !l.bus.exclude.Load() {
 		now = now.Add(l.bus.cfg.DMALatency / 8 * simtime.Duration(segs-1))
 	}
@@ -142,6 +178,7 @@ func (l *Link) Charge(now simtime.Time, dir Direction, n int64) simtime.Time {
 	if n < 0 {
 		n = 0
 	}
+	reqStart := now
 	l.dmas.Add(1)
 	if dir == HostToDevice {
 		l.bytesH2D.Add(n)
@@ -149,6 +186,9 @@ func (l *Link) Charge(now simtime.Time, dir Direction, n int64) simtime.Time {
 		l.bytesD2H.Add(n)
 	}
 	if l.bus.exclude.Load() {
+		if m := l.met; m != nil {
+			m.lat[dir].ObserveSpan(reqStart, now)
+		}
 		return now
 	}
 
@@ -185,6 +225,9 @@ func (l *Link) Charge(now simtime.Time, dir Direction, n int64) simtime.Time {
 	// kernel memory traffic).
 	if l.devbw != nil && l.devRate > 0 {
 		_, end = l.devbw.Acquire(end, simtime.TransferTime(n, l.devRate))
+	}
+	if m := l.met; m != nil {
+		m.lat[dir].ObserveSpan(reqStart, end)
 	}
 	return end
 }

@@ -61,6 +61,7 @@ import (
 
 	"gpufs/internal/faults"
 	"gpufs/internal/hostfs"
+	"gpufs/internal/metrics"
 	"gpufs/internal/pcie"
 	"gpufs/internal/simtime"
 	"gpufs/internal/wrapfs"
@@ -150,6 +151,7 @@ type Server struct {
 	svc   *hostService
 
 	inj atomic.Pointer[faults.Injector]
+	met *metrics.Registry
 
 	mu     sync.Mutex
 	fds    map[int64]*hostfs.File
@@ -190,6 +192,12 @@ func NewServer(cfg Config, layer *wrapfs.Layer) *Server {
 // SetFaultInjector installs (or, with nil, removes) the fault injector
 // governing this daemon's request handling.
 func (s *Server) SetFaultInjector(inj *faults.Injector) { s.inj.Store(inj) }
+
+// SetMetrics attaches a metrics registry to the daemon. It must be called
+// before NewClient: each client's ring transport resolves per-shard
+// instrument handles at creation. A nil registry (the default) keeps the
+// per-request hooks at a single pointer test.
+func (s *Server) SetMetrics(reg *metrics.Registry) { s.met = reg }
 
 // Layer returns the consistency layer the server manages.
 func (s *Server) Layer() *wrapfs.Layer { return s.layer }

@@ -24,10 +24,12 @@ package rpc
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"gpufs/internal/faults"
+	"gpufs/internal/metrics"
 	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
 )
@@ -88,6 +90,11 @@ type ringShard struct {
 	seq      atomic.Uint64
 	requests atomic.Int64
 
+	// svcTime holds this ring's per-op service-time histograms (send to
+	// response observation, in virtual time); nil entries when metrics
+	// are disabled.
+	svcTime [numOps]*metrics.Histogram
+
 	dedupMu sync.Mutex
 	dedup   [dedupSlots]dedupEntry
 }
@@ -100,7 +107,38 @@ func newRingTransport(srv *Server, gpuID int) *ringTransport {
 		})
 	}
 	t.cq.init()
+	if reg := srv.met; reg != nil {
+		t.attachMetrics(reg)
+	}
 	return t
+}
+
+// attachMetrics resolves the transport's instrument handles: per-ring
+// per-op service-time histograms (inline, observation-only) and snapshot
+// collectors over the counters the transport already keeps.
+func (t *ringTransport) attachMetrics(reg *metrics.Registry) {
+	gpu := strconv.Itoa(t.gpuID)
+	reg.SetHelp("gpufs_rpc_service_time_seconds",
+		"Virtual send-to-response latency of one logical RPC per ring shard and op")
+	reg.SetHelp("gpufs_rpc_requests_total", "Ring transactions enqueued per shard (retries count)")
+	reg.SetHelp("gpufs_rpc_retries_total", "Retry attempts issued by the transport")
+	reg.SetHelp("gpufs_rpc_timeouts_total", "Response timeouts observed by spinning blocks")
+	reg.SetHelp("gpufs_rpc_inflight_peak", "High-water mark of concurrently outstanding ring slots")
+	reg.SetHelp("gpufs_rpc_out_of_order_total", "Responses overtaken by a later-sent request's response")
+	reg.SetHelp("gpufs_rpc_unmatched_total", "Responses that matched no pending frame (transport bugs)")
+	for _, sh := range t.shards {
+		shard := strconv.Itoa(sh.id)
+		for op := Op(0); op < numOps; op++ {
+			sh.svcTime[op] = reg.DurationHistogram("gpufs_rpc_service_time_seconds",
+				"gpu", gpu, "shard", shard, "op", op.String())
+		}
+		reg.CounterFunc("gpufs_rpc_requests_total", sh.requests.Load, "gpu", gpu, "shard", shard)
+	}
+	reg.CounterFunc("gpufs_rpc_retries_total", t.retries.Load, "gpu", gpu)
+	reg.CounterFunc("gpufs_rpc_timeouts_total", t.timeouts.Load, "gpu", gpu)
+	reg.GaugeFunc("gpufs_rpc_inflight_peak", t.maxDepth.Load, "gpu", gpu)
+	reg.CounterFunc("gpufs_rpc_out_of_order_total", t.cq.OutOfOrder, "gpu", gpu)
+	reg.CounterFunc("gpufs_rpc_unmatched_total", t.cq.Unmatched, "gpu", gpu)
 }
 
 func (t *ringTransport) Shards() int { return len(t.shards) }
@@ -183,16 +221,24 @@ func (t *ringTransport) Submit(blk *simtime.Clock, shard int, op Op, h Handler) 
 	sh := t.shards[shard]
 	seq := sh.seq.Add(1)
 	inj := t.srv.inj.Load()
+	// Service-time observation is a pure read of the block's clock before
+	// and after the exchange — never a resource acquisition — so metrics
+	// cannot shift virtual timing. ObserveSpan on a nil histogram (metrics
+	// disabled) is a single pointer test.
+	sent := blk.Now()
 	if !inj.Enabled() {
-		t.cq.send(sh.id, seq, blk.Now())
+		t.cq.send(sh.id, seq, sent)
 		cclk := sh.begin(blk, op, 0)
 		handleEnd := cclk.Now()
 		done, err := h(cclk)
 		sh.finish(blk, cclk, handleEnd, done)
 		t.cq.deliver(sh.id, seq, blk.Now())
+		sh.svcTime[op].ObserveSpan(sent, blk.Now())
 		return err
 	}
-	return t.submitFaulty(blk, sh, seq, op, inj, h)
+	err := t.submitFaulty(blk, sh, seq, op, inj, h)
+	sh.svcTime[op].ObserveSpan(sent, blk.Now())
+	return err
 }
 
 // submitFaulty is Submit's slow path: timeouts, backoff, and per-shard
@@ -310,6 +356,12 @@ func (t *ringTransport) SubmitAsync(blk *simtime.Clock, shard int, op Op, h Hand
 	if err != nil {
 		return 0, err
 	}
+	at := done
+	if at < cclk.Now() {
+		at = cclk.Now()
+	}
+	// Speculative requests: observe enqueue-to-response-landing.
+	sh.svcTime[op].ObserveSpan(blk.Now(), at)
 	return done, nil
 }
 

@@ -83,6 +83,9 @@ func (s *Server) worker(g int) {
 			s.queues[g].push(j)
 			s.gstats[g].Requeued++
 		}
+		if len(retries) > 0 {
+			s.met.noteQueueDepth(g, s.queues[g].size)
+		}
 		s.inflight[g] -= len(batch)
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -96,7 +99,9 @@ func (s *Server) worker(g int) {
 // Returns nil when there is nothing to take.
 func (s *Server) takeLocked(g int) []*job {
 	if q := s.queues[g]; q.size > 0 {
-		return q.pop(s.cfg.MaxBatch)
+		batch := q.pop(s.cfg.MaxBatch)
+		s.met.noteQueueDepth(g, q.size)
+		return batch
 	}
 	victim, longest := -1, s.cfg.StealThreshold-1
 	for i, q := range s.queues {
@@ -108,6 +113,7 @@ func (s *Server) takeLocked(g int) []*job {
 		return nil
 	}
 	batch := s.queues[victim].pop(s.cfg.MaxBatch)
+	s.met.noteQueueDepth(victim, s.queues[victim].size)
 	s.gstats[g].Stolen += int64(len(batch))
 	return batch
 }
@@ -158,6 +164,9 @@ func (s *Server) runBatch(g int, batch []*job) (retries []*job) {
 			Bytes: int64(len(run)), Start: start, End: start,
 		})
 	}
+	if m := s.met; m != nil {
+		m.batchJobs[g].Observe(int64(len(run)))
+	}
 
 	blocks := len(run)
 	if blocks > s.cfg.MaxBlocks {
@@ -189,6 +198,9 @@ func (s *Server) runBatch(g int, batch []*job) (retries []*job) {
 		s.gstats[g].Restarts++
 		s.cursors[g] = start
 		s.mu.Unlock()
+		if m := s.met; m != nil {
+			m.restarts[g].Inc()
+		}
 		for _, j := range run {
 			j.lastErr = lerr
 			if j.attempts >= s.cfg.MaxAttempts {
@@ -293,6 +305,13 @@ func (s *Server) completeJob(j *job, g int, batchID int64, started, done simtime
 	s.svcEst = (s.svcEst*7 + lat) / 8
 	s.cond.Broadcast()
 	s.mu.Unlock()
+
+	if m := s.met; m != nil {
+		m.jobLatency[g].ObserveDuration(lat)
+		if errors.Is(err, ErrDeadlineExceeded) {
+			m.deadlineMiss[g].Inc()
+		}
+	}
 
 	j.fut.ch <- res
 }

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"strconv"
+
+	"gpufs/internal/metrics"
+)
+
+// serveMetrics holds the server's pre-resolved instrument handles; nil when
+// the underlying gpufs.System carries no registry. The handles are plain
+// atomics, so they are safe to touch inside or outside s.mu — but the
+// server never registers func collectors over mutex-protected state, so the
+// registry can never call back into serve and lock order stays one-way
+// (s.mu → registry.mu on tenant creation, nothing in the other direction).
+type serveMetrics struct {
+	reg *metrics.Registry
+
+	// Per-GPU handles, indexed by device id.
+	queueDepth   []*metrics.Gauge
+	batchJobs    []*metrics.Histogram
+	jobLatency   []*metrics.Histogram
+	deadlineMiss []*metrics.Counter
+	restarts     []*metrics.Counter
+}
+
+// newServeMetrics registers the serving layer's families and resolves the
+// per-GPU handles. Per-tenant counters are resolved lazily when a tenant
+// first appears (see enqueueLocked).
+func newServeMetrics(reg *metrics.Registry, numGPUs int) *serveMetrics {
+	reg.SetHelp("gpufs_serve_admitted_total", "Jobs admitted past admission control, per tenant")
+	reg.SetHelp("gpufs_serve_rejected_total", "Jobs rejected with OverloadError, per tenant")
+	reg.SetHelp("gpufs_serve_queue_depth", "Jobs pending in a GPU's queue")
+	reg.SetHelp("gpufs_serve_batch_jobs", "Jobs coalesced into one kernel launch")
+	reg.SetHelp("gpufs_serve_job_latency_seconds", "Virtual admission-to-completion job latency")
+	reg.SetHelp("gpufs_serve_deadline_miss_total", "Jobs failed because their virtual deadline passed")
+	reg.SetHelp("gpufs_serve_restarts_total", "Fault-driven GPU restarts during serving")
+
+	m := &serveMetrics{
+		reg:          reg,
+		queueDepth:   make([]*metrics.Gauge, numGPUs),
+		batchJobs:    make([]*metrics.Histogram, numGPUs),
+		jobLatency:   make([]*metrics.Histogram, numGPUs),
+		deadlineMiss: make([]*metrics.Counter, numGPUs),
+		restarts:     make([]*metrics.Counter, numGPUs),
+	}
+	for g := 0; g < numGPUs; g++ {
+		gpuL := strconv.Itoa(g)
+		m.queueDepth[g] = reg.Gauge("gpufs_serve_queue_depth", "gpu", gpuL)
+		m.batchJobs[g] = reg.Histogram("gpufs_serve_batch_jobs", "gpu", gpuL)
+		m.jobLatency[g] = reg.DurationHistogram("gpufs_serve_job_latency_seconds", "gpu", gpuL)
+		m.deadlineMiss[g] = reg.Counter("gpufs_serve_deadline_miss_total", "gpu", gpuL)
+		m.restarts[g] = reg.Counter("gpufs_serve_restarts_total", "gpu", gpuL)
+	}
+	return m
+}
+
+// tenantCounters resolves (or re-resolves) a tenant's admission counters;
+// both return values are nil when metrics are off.
+func (m *serveMetrics) tenantCounters(tenantName string) (admitted, rejected *metrics.Counter) {
+	if m == nil {
+		return nil, nil
+	}
+	return m.reg.Counter("gpufs_serve_admitted_total", "tenant", tenantName),
+		m.reg.Counter("gpufs_serve_rejected_total", "tenant", tenantName)
+}
+
+// noteQueueDepth publishes GPU g's instantaneous queue depth.
+func (m *serveMetrics) noteQueueDepth(g, depth int) {
+	if m == nil {
+		return
+	}
+	m.queueDepth[g].Set(int64(depth))
+}

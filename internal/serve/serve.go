@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"gpufs"
+	"gpufs/internal/metrics"
 	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
 	"gpufs/internal/workloads"
@@ -263,6 +264,10 @@ type job struct {
 type tenant struct {
 	open  int // jobs admitted and not yet completed
 	stats TenantStats
+
+	// mAdmitted and mRejected are the tenant's pre-resolved metrics
+	// handles; nil when metrics are off.
+	mAdmitted, mRejected *metrics.Counter
 }
 
 // Server is the multi-tenant serving frontend over one gpufs.System.
@@ -270,6 +275,7 @@ type Server struct {
 	sys *gpufs.System
 	cfg Config
 	tr  *trace.Tracer
+	met *serveMetrics // nil when the system carries no registry
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -309,6 +315,9 @@ func New(sys *gpufs.System, cfg Config) *Server {
 	s.inflight = make([]int, n)
 	s.cursors = make([]simtime.Time, n)
 	s.gstats = make([]GPUStats, n)
+	if reg := sys.Metrics(); reg != nil {
+		s.met = newServeMetrics(reg, n)
+	}
 	for g := 0; g < n; g++ {
 		s.wg.Add(1)
 		go s.worker(g)
@@ -363,14 +372,17 @@ func (s *Server) enqueueLocked(tenantName string, spec Job) (*Future, int, error
 	tn := s.tenants[tenantName]
 	if tn == nil {
 		tn = &tenant{}
+		tn.mAdmitted, tn.mRejected = s.met.tenantCounters(tenantName)
 		s.tenants[tenantName] = tn
 	}
 	if tn.open >= s.cfg.QueueDepth {
 		tn.stats.Rejected++
+		tn.mRejected.Inc()
 		return nil, -1, &OverloadError{Tenant: tenantName, RetryAfter: s.retryAfterLocked()}
 	}
 	tn.open++
 	tn.stats.Submitted++
+	tn.mAdmitted.Inc()
 	if tn.open > tn.stats.MaxQueued {
 		tn.stats.MaxQueued = tn.open
 	}
@@ -391,6 +403,7 @@ func (s *Server) enqueueLocked(tenantName string, spec Job) (*Future, int, error
 	g := s.routeLocked(j)
 	s.queues[g].push(j)
 	s.gstats[g].Routed++
+	s.met.noteQueueDepth(g, s.queues[g].size)
 	s.cond.Broadcast()
 	return j.fut, g, nil
 }
