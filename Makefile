@@ -4,8 +4,9 @@
 #   tier2      — the merge gate: gofmt-clean, vet clean, the full
 #                suite under the race detector (the stress/oracle tests
 #                run 500 seeds concurrently, so this is where sync bugs
-#                die), and the bench guardrail pinning the Fig4 16K
-#                throughput and daemon-scaling speedup to BENCH_4.json.
+#                die), the bench guardrail pinning the Fig4 16K
+#                throughput and daemon-scaling speedup to BENCH_4.json,
+#                and the 4-host fleet remediation demo end to end.
 #   fuzz-smoke — 30s coverage-guided run of the radix-tree fuzzer; CI
 #                budget, not a soak. Extend -fuzztime for real hunts.
 #   stress     — the fault-injection oracle at full depth (500 seeds),
@@ -13,13 +14,20 @@
 #   soak       — the serving-layer soak (internal/serve): 1,000+ jobs from
 #                8 tenants over 2 GPUs, race-enabled, fixed seeds; also
 #                the fault and GPU-restart variants.
+#   fleet      — the multi-host control plane pack on its own: the
+#                300-seed fleet chaos oracle plus the model-based
+#                scheduler conformance suite, race-enabled.
+#   fleet-demo — gpufs-serve -hosts 4: inject a fatal XID mid-traffic,
+#                show cordon/drain/replace, fail if any admitted job is
+#                lost or fault-phase throughput drops below 60% of
+#                steady state.
 #   bench-smoke — the Readahead policy experiment at 1/256 scale, one
 #                rep: a seconds-long CI check that the bench harness and
 #                the adaptive read-ahead engine still run end to end.
 
 GO ?= go
 
-.PHONY: tier1 tier2 fuzz-smoke stress bench bench-smoke soak
+.PHONY: tier1 tier2 fuzz-smoke stress bench bench-smoke soak fleet fleet-demo
 
 tier1:
 	$(GO) build ./...
@@ -31,6 +39,7 @@ tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	GPUFS_BENCH_GUARDRAIL=1 $(GO) test -count=1 -run TestBenchGuardrail ./internal/bench
+	$(GO) run ./cmd/gpufs-serve -hosts 4 >/dev/null
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRadixTree -fuzztime 30s ./internal/core/radix
@@ -40,6 +49,12 @@ stress:
 
 soak:
 	$(GO) test -race -count=1 -run 'TestServeSoak' ./internal/serve
+
+fleet:
+	$(GO) test -race -count=1 -run 'TestFleetChaosOracle|TestFleetModelConformance' ./internal/fleet
+
+fleet-demo:
+	$(GO) run ./cmd/gpufs-serve -hosts 4
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	gpufs-serve [-tenants 8] [-outstanding 8] [-jobs 125] [-gpus 2]
-//	            [-files 16] [-batch 16] [-policy affinity|rr]
+//	gpufs-serve [-hosts 1] [-tenants 8] [-outstanding 8] [-jobs 125]
+//	            [-gpus 2] [-files 16] [-batch 16] [-policy affinity|rr]
 //	            [-scale 0.00390625] [-seed 1] [-faults]
 //	            [-metrics -|PATH] [-metrics-ndjson -|PATH]
 //
@@ -15,6 +15,11 @@
 // Prometheus text exposition to PATH at exit ("-" for stdout), along with
 // an end-of-run summary table; -metrics-ndjson additionally (or instead)
 // writes one JSON object per series.
+//
+// -hosts N with N > 1 switches to fleet mode (see fleet.go): the same
+// workload runs against an internal/fleet control plane over N simulated
+// hosts, a fatal XID is injected mid-run, and the run demonstrates
+// cordon/drain/replace remediation with zero admitted jobs lost.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 )
 
 func main() {
+	hosts := flag.Int("hosts", 1, "serving hosts; > 1 runs the fleet-mode remediation demo")
 	tenants := flag.Int("tenants", 8, "number of concurrent tenants")
 	outstanding := flag.Int("outstanding", 8, "closed-loop jobs in flight per tenant")
 	jobs := flag.Int("jobs", 125, "jobs per tenant")
@@ -49,6 +55,8 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *hosts < 1:
+		usageError("-hosts must be >= 1, got %d", *hosts)
 	case *tenants < 1:
 		usageError("-tenants must be >= 1, got %d", *tenants)
 	case *outstanding < 1:
@@ -72,6 +80,16 @@ func main() {
 		pol = serve.PlaceRoundRobin
 	default:
 		usageError("-policy must be affinity or rr, got %q", *policy)
+	}
+
+	if *hosts > 1 {
+		runFleet(fleetParams{
+			hosts: *hosts, tenants: *tenants, outstanding: *outstanding,
+			jobs: *jobs, gpus: *gpus, files: *files, batch: *batch,
+			pol: pol, scale: *scale, seed: *seed, faults: *faults,
+			metricsOut: *metricsOut, metricsNDJSON: *metricsNDJSON,
+		})
+		return
 	}
 
 	cfg := gpufs.ScaledConfig(*scale)

@@ -24,6 +24,7 @@ package faults
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"gpufs/internal/simtime"
@@ -66,13 +67,18 @@ const (
 	DMAStall
 	// DMADegrade runs a DMA transfer at degraded link bandwidth.
 	DMADegrade
+	// GPUXID raises an XID-style device error event (see xid.go): the
+	// asynchronous "something is wrong with this GPU" notification a
+	// driver surfaces in the kernel log, consumed by fleet health
+	// monitoring rather than by the faulting operation itself.
+	GPUXID
 	numSites
 )
 
 var siteNames = [numSites]string{
 	"rpc-poll-delay", "rpc-drop-response", "rpc-dup-response", "rpc-transient",
 	"host-short-read", "host-read-eio", "host-bad-sector", "host-write-eio",
-	"host-fsync-eio", "disk-stall", "dma-stall", "dma-degrade",
+	"host-fsync-eio", "disk-stall", "dma-stall", "dma-degrade", "gpu-xid",
 }
 
 // String names the injection site.
@@ -132,6 +138,12 @@ type Config struct {
 	DMAStallMax      simtime.Duration
 	DMADegradeProb   float64
 	DMADegradeFactor float64
+
+	// GPUXIDProb is the per-draw chance MaybeXID raises an XID-style
+	// device error event; the code is drawn from the weighted table in
+	// xid.go, so most scheduled events are warnings and a deterministic
+	// minority are fatal.
+	GPUXIDProb float64
 }
 
 func (c *Config) prob(s Site) float64 {
@@ -160,6 +172,8 @@ func (c *Config) prob(s Site) float64 {
 		return c.DMAStallProb
 	case DMADegrade:
 		return c.DMADegradeProb
+	case GPUXID:
+		return c.GPUXIDProb
 	}
 	return 0
 }
@@ -189,6 +203,11 @@ type Injector struct {
 	injected [numSites]atomic.Int64 // per-site fired counters (stats)
 
 	tracer atomic.Pointer[trace.Tracer]
+
+	// xidSinks receive every XID event raised through this injector
+	// (see xid.go); guarded by xidMu.
+	xidMu    sync.Mutex
+	xidSinks []func(XIDEvent)
 }
 
 // New creates an injector for the given config, enabled, with defaulted

@@ -1,0 +1,190 @@
+package faults
+
+// XID-style device error events. Real NVIDIA drivers report GPU failures
+// asynchronously as numbered XID errors in the kernel log; fleet managers
+// parse and classify them to decide whether a device merely hiccuped or
+// the host must be drained. This file models that channel for the
+// simulated machine: events carry a real XID code, classify into the
+// severities a remediation policy acts on, and are delivered to
+// subscribers (the fleet health monitor) rather than to the faulting
+// operation. Events are either drawn deterministically from the injector's
+// seeded schedule (MaybeXID, site GPUXID) or raised explicitly by chaos
+// drivers (InjectXID).
+
+import (
+	"fmt"
+
+	"gpufs/internal/simtime"
+	"gpufs/internal/trace"
+)
+
+// XIDSeverity classifies an XID code by the remediation it warrants.
+type XIDSeverity int
+
+// Severities, in escalating order.
+const (
+	// XIDWarn is recoverable noise (a retired page, an application
+	// fault): log it, count it, keep serving.
+	XIDWarn XIDSeverity = iota
+	// XIDCritical is a device-level error that individual jobs survive
+	// but that erodes trust in the host; a burst of them should cordon
+	// it.
+	XIDCritical
+	// XIDFatal means the device is gone or unreliable (fallen off the
+	// bus, uncontained ECC): cordon and drain the host immediately.
+	XIDFatal
+)
+
+// String names the severity.
+func (s XIDSeverity) String() string {
+	switch s {
+	case XIDWarn:
+		return "warn"
+	case XIDCritical:
+		return "critical"
+	case XIDFatal:
+		return "fatal"
+	}
+	return fmt.Sprintf("XIDSeverity(%d)", int(s))
+}
+
+// xidInfo describes one known XID code.
+type xidInfo struct {
+	desc string
+	sev  XIDSeverity
+}
+
+// xidTable is the subset of driver XID codes the simulation raises,
+// with the severity a fleet policy conventionally assigns each.
+var xidTable = map[int]xidInfo{
+	13:  {"graphics engine exception", XIDWarn},
+	31:  {"GPU memory page fault", XIDWarn},
+	43:  {"GPU stopped processing", XIDCritical},
+	45:  {"preemptive cleanup of user channels", XIDWarn},
+	48:  {"double-bit ECC error", XIDFatal},
+	63:  {"ECC page retirement recorded", XIDWarn},
+	64:  {"ECC page retirement failed", XIDCritical},
+	74:  {"NVLink error", XIDFatal},
+	79:  {"GPU has fallen off the bus", XIDFatal},
+	94:  {"contained ECC error", XIDCritical},
+	95:  {"uncontained ECC error", XIDFatal},
+	119: {"GSP RPC timeout", XIDCritical},
+}
+
+// xidSchedule is the weighted draw table for MaybeXID: warnings dominate,
+// critical errors are uncommon, fatal events are rare — the long-tail
+// shape of real fleet logs. Entries are (code, cumulative weight ceiling)
+// over a 0..99 draw.
+var xidSchedule = []struct {
+	code    int
+	ceiling int
+}{
+	{13, 30},  // 30%: application-level engine exceptions
+	{31, 55},  // 25%: page faults
+	{63, 75},  // 20%: page retirements
+	{45, 83},  // 8%: channel cleanups
+	{43, 90},  // 7%: stopped processing
+	{94, 95},  // 5%: contained ECC
+	{119, 98}, // 3%: GSP timeout
+	{79, 100}, // 2%: off the bus (fatal)
+}
+
+// XIDEvent is one device error notification.
+type XIDEvent struct {
+	// GPU is the device index within its host; the host identity is
+	// supplied by whoever subscribed (each host owns its injector).
+	GPU int
+	// Code is the XID number.
+	Code int
+	// Time is the virtual time the event was raised.
+	Time simtime.Time
+}
+
+// Severity classifies the event's code; unknown codes rate XIDCritical
+// (a conservative default: unrecognized driver errors are not noise).
+func (e XIDEvent) Severity() XIDSeverity {
+	if info, ok := xidTable[e.Code]; ok {
+		return info.sev
+	}
+	return XIDCritical
+}
+
+// Description renders the code's driver-log description.
+func (e XIDEvent) Description() string {
+	if info, ok := xidTable[e.Code]; ok {
+		return info.desc
+	}
+	return "unknown XID"
+}
+
+// String renders the event driver-log style.
+func (e XIDEvent) String() string {
+	return fmt.Sprintf("XID %d on GPU %d (%s, %s)", e.Code, e.GPU, e.Description(), e.Severity())
+}
+
+// SubscribeXID registers fn to receive every XID event this injector
+// raises, synchronously at the raise site. Multiple subscribers stack.
+// Safe on nil (no-op).
+func (i *Injector) SubscribeXID(fn func(XIDEvent)) {
+	if i == nil {
+		return
+	}
+	i.xidMu.Lock()
+	i.xidSinks = append(i.xidSinks, fn)
+	i.xidMu.Unlock()
+}
+
+// deliverXID counts, traces, and fans the event out to subscribers.
+func (i *Injector) deliverXID(ev XIDEvent) {
+	i.injected[GPUXID].Add(1)
+	if t := i.tracer.Load(); t.Enabled() {
+		t.Record(trace.Event{
+			GPU: ev.GPU, Op: trace.OpFault,
+			Path:  fmt.Sprintf("%s-%d", GPUXID, ev.Code),
+			Start: ev.Time, End: ev.Time,
+		})
+	}
+	i.xidMu.Lock()
+	sinks := make([]func(XIDEvent), len(i.xidSinks))
+	copy(sinks, i.xidSinks)
+	i.xidMu.Unlock()
+	for _, fn := range sinks {
+		fn(ev)
+	}
+}
+
+// InjectXID raises an explicit XID event — the chaos-driver entry point
+// (kill a host by raising XID 79). It fires regardless of GPUXIDProb but
+// respects the enabled toggle. Safe on nil (no-op, reports false).
+func (i *Injector) InjectXID(gpu, code int, now simtime.Time) bool {
+	if !i.Enabled() {
+		return false
+	}
+	i.deliverXID(XIDEvent{GPU: gpu, Code: code, Time: now})
+	return true
+}
+
+// MaybeXID consumes one tick of the GPUXID schedule and, when it fires,
+// raises an event whose code is drawn from the weighted table — a pure
+// function of (seed, call counter), so a single-threaded driver replays
+// the same XID log for a given seed. Safe on nil (never fires).
+func (i *Injector) MaybeXID(gpu int, now simtime.Time) (XIDEvent, bool) {
+	if !i.Enabled() {
+		return XIDEvent{}, false
+	}
+	p := i.cfg.prob(GPUXID)
+	if p <= 0 || i.draw(GPUXID) >= p {
+		return XIDEvent{}, false
+	}
+	pick := int(i.draw(GPUXID) * 100)
+	code := xidSchedule[len(xidSchedule)-1].code
+	for _, entry := range xidSchedule {
+		if pick < entry.ceiling {
+			code = entry.code
+			break
+		}
+	}
+	ev := XIDEvent{GPU: gpu, Code: code, Time: now}
+	i.deliverXID(ev)
+	return ev, true
+}

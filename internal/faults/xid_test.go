@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"testing"
+
+	"gpufs/internal/simtime"
+)
+
+// TestXIDScheduleDeterministic pins the XID channel's replay contract: two
+// injectors with the same seed raise the identical event log, and a third
+// with a different seed diverges.
+func TestXIDScheduleDeterministic(t *testing.T) {
+	run := func(seed int64) []XIDEvent {
+		inj := New(Config{Seed: seed, GPUXIDProb: 0.3})
+		var got []XIDEvent
+		inj.SubscribeXID(func(ev XIDEvent) { got = append(got, ev) })
+		for i := 0; i < 400; i++ {
+			inj.MaybeXID(i%4, simtime.Time(i))
+		}
+		return got
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 {
+		t.Fatal("no XID events fired at 30% over 400 draws")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical XID logs")
+	}
+}
+
+// TestXIDSeverityClassification checks the code→severity table covers the
+// remediation-relevant classes and that unknown codes default critical.
+func TestXIDSeverityClassification(t *testing.T) {
+	cases := []struct {
+		code int
+		want XIDSeverity
+	}{
+		{13, XIDWarn},
+		{31, XIDWarn},
+		{63, XIDWarn},
+		{43, XIDCritical},
+		{94, XIDCritical},
+		{119, XIDCritical},
+		{48, XIDFatal},
+		{74, XIDFatal},
+		{79, XIDFatal},
+		{95, XIDFatal},
+		{12345, XIDCritical}, // unknown: conservative default
+	}
+	for _, tc := range cases {
+		ev := XIDEvent{Code: tc.code}
+		if got := ev.Severity(); got != tc.want {
+			t.Errorf("XID %d severity = %v, want %v", tc.code, got, tc.want)
+		}
+	}
+	if (XIDEvent{Code: 79}).Description() == "unknown XID" {
+		t.Error("XID 79 should have a description")
+	}
+}
+
+// TestXIDInjectAndSubscribe checks explicit injection fans out to every
+// subscriber, counts as an injected fault, and respects the enable toggle.
+func TestXIDInjectAndSubscribe(t *testing.T) {
+	inj := New(Config{Seed: 1})
+	var a, b []XIDEvent
+	inj.SubscribeXID(func(ev XIDEvent) { a = append(a, ev) })
+	inj.SubscribeXID(func(ev XIDEvent) { b = append(b, ev) })
+
+	if !inj.InjectXID(2, 79, 100) {
+		t.Fatal("InjectXID reported not fired while enabled")
+	}
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("subscribers saw %d/%d events, want 1/1", len(a), len(b))
+	}
+	want := XIDEvent{GPU: 2, Code: 79, Time: 100}
+	if a[0] != want || b[0] != want {
+		t.Fatalf("event mismatch: %v / %v, want %v", a[0], b[0], want)
+	}
+	if got := inj.Injected(GPUXID); got != 1 {
+		t.Fatalf("Injected(GPUXID) = %d, want 1", got)
+	}
+
+	inj.SetEnabled(false)
+	if inj.InjectXID(0, 48, 200) {
+		t.Fatal("InjectXID fired while disabled")
+	}
+	if len(a) != 1 {
+		t.Fatalf("disabled injector delivered an event")
+	}
+
+	// Nil safety: the whole XID surface must be callable on nil.
+	var nilInj *Injector
+	nilInj.SubscribeXID(func(XIDEvent) {})
+	if nilInj.InjectXID(0, 79, 0) {
+		t.Fatal("nil injector fired")
+	}
+	if _, ok := nilInj.MaybeXID(0, 0); ok {
+		t.Fatal("nil injector MaybeXID fired")
+	}
+}
+
+// TestXIDScheduleShape checks the weighted draw table produces the
+// long-tail shape: warnings dominate and fatal events occur but rarely.
+func TestXIDScheduleShape(t *testing.T) {
+	inj := New(Config{Seed: 42, GPUXIDProb: 1.0})
+	counts := map[XIDSeverity]int{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		ev, ok := inj.MaybeXID(0, simtime.Time(i))
+		if !ok {
+			t.Fatalf("draw %d did not fire at probability 1", i)
+		}
+		counts[ev.Severity()]++
+	}
+	if counts[XIDWarn] <= counts[XIDCritical] || counts[XIDCritical] <= counts[XIDFatal] {
+		t.Fatalf("severity shape inverted: warn=%d critical=%d fatal=%d",
+			counts[XIDWarn], counts[XIDCritical], counts[XIDFatal])
+	}
+	if counts[XIDFatal] == 0 {
+		t.Fatal("no fatal XIDs in 2000 draws; remediation path untestable from schedule")
+	}
+}

@@ -1,0 +1,298 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpufs"
+	"gpufs/internal/faults"
+	"gpufs/internal/serve"
+	"gpufs/internal/simtime"
+	"gpufs/internal/workloads"
+)
+
+// The fleet chaos oracle (the PR-1 many-seed harness, lifted to the
+// cluster): real simulated hosts serve real kernels while a seeded chaos
+// driver kills and degrades random machines mid-traffic — fatal XIDs,
+// critical-XID bursts, wedged devices, plus each host's own background
+// fault schedule. The contract under fire:
+//
+//   - Every admitted job is delivered exactly once: success with the
+//     oracle's answer, or a classified error. Never a hang (per-seed
+//     watchdog), never a silent loss, never a double delivery, and never
+//     an internal routing signal (ErrHandedOff) leaking to a client.
+//   - Dedup holds across re-routing: handed-off jobs re-execute on their
+//     new host only; in-flight jobs finish where they started.
+//   - The fleet always settles: Drain terminates with the books balanced.
+
+// chaosCorpus is built once (deterministic texts + expected counts) and
+// written into every host the factory builds.
+type chaosCorpus struct {
+	paths []string
+	texts [][]byte
+	words []string
+	grep  map[string]int64
+}
+
+var (
+	chaosOnce sync.Once
+	chaosData *chaosCorpus
+)
+
+func getChaosCorpus() *chaosCorpus {
+	chaosOnce.Do(func() {
+		dict := workloads.MakeDictionary(200)
+		c := &chaosCorpus{grep: make(map[string]int64)}
+		for i := 0; i < 6; i++ {
+			c.words = append(c.words, workloads.MakeWord(i*17))
+		}
+		for i := 0; i < 6; i++ {
+			path := fmt.Sprintf("/chaos/f%d.txt", i)
+			text := workloads.MakeText(4<<10, workloads.TextSpec{
+				Dict: dict, DictFraction: 0.8, Seed: int64(9000 + i),
+			})
+			c.paths = append(c.paths, path)
+			c.texts = append(c.texts, text)
+			for _, w := range c.words {
+				c.grep[path+"\x00"+w] = int64(workloads.CountWord(text, w))
+			}
+		}
+		chaosData = c
+	})
+	return chaosData
+}
+
+// chaosHosts wraps SimHostFactory, retaining each incarnation's system and
+// injector so the chaos driver can attack the machine currently in the
+// slot.
+type chaosHosts struct {
+	mu   sync.Mutex
+	injs map[int]*faults.Injector
+	syss map[int]*gpufs.System
+}
+
+func (ch *chaosHosts) factory(seed int64) HostFactory {
+	c := getChaosCorpus()
+	inner := SimHostFactory(SimHostConfig{
+		NumGPUs: 1,
+		Serve:   serve.Config{QueueDepth: 32, MaxBatch: 8, MaxAttempts: 3},
+		Faults: &faults.Config{
+			Seed:              seed,
+			RPCTransientProb:  0.01,
+			RPCPollDelayProb:  0.02,
+			HostShortReadProb: 0.01,
+			DiskStallProb:     0.02,
+			GPUXIDProb:        0.02, // organic background XID noise
+		},
+		Setup: func(hostID, incarnation int, sys *gpufs.System) error {
+			for i, p := range c.paths {
+				if err := sys.WriteHostFile(p, c.texts[i]); err != nil {
+					return err
+				}
+			}
+			ch.mu.Lock()
+			ch.syss[hostID] = sys
+			ch.mu.Unlock()
+			return nil
+		},
+	})
+	return func(hostID, incarnation int) (serve.Backend, *faults.Injector, error) {
+		b, inj, err := inner(hostID, incarnation)
+		if err == nil {
+			ch.mu.Lock()
+			ch.injs[hostID] = inj
+			ch.mu.Unlock()
+		}
+		return b, inj, err
+	}
+}
+
+func (ch *chaosHosts) attack(rng *rand.Rand, hostID int) string {
+	ch.mu.Lock()
+	inj := ch.injs[hostID]
+	sys := ch.syss[hostID]
+	ch.mu.Unlock()
+	switch rng.Intn(3) {
+	case 0: // kill: the device falls off the bus
+		inj.InjectXID(0, 79, simtime.Time(rng.Int63n(1e9)))
+		return "fatal-xid"
+	case 1: // erode: a burst of critical GSP timeouts
+		for i := 0; i < 4; i++ {
+			inj.InjectXID(0, 119, simtime.Time(rng.Int63n(1e9)))
+		}
+		return "critical-burst"
+	default: // degrade: wedge the device so launches fault
+		if sys != nil {
+			sys.GPU(0).Device().InjectFault(errors.New("chaos: wedged device"))
+		}
+		return "wedge"
+	}
+}
+
+// TestFleetChaosOracle runs the many-seed sweep.
+func TestFleetChaosOracle(t *testing.T) {
+	seeds := 300
+	if testing.Short() {
+		seeds = 25
+	}
+	var totalRemediations, totalRebalanced, totalFailed atomic.Int64
+	t.Run("seeds", func(t *testing.T) {
+		for seed := 0; seed < seeds; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				rem, reb, failed := runChaosSeed(t, int64(seed))
+				totalRemediations.Add(rem)
+				totalRebalanced.Add(reb)
+				totalFailed.Add(failed)
+			})
+		}
+	})
+	// Vacuousness guard: across the sweep the chaos must actually have
+	// forced remediations and re-routing, or the oracle proved nothing.
+	if totalRemediations.Load() == 0 {
+		t.Fatal("no remediation across the whole sweep; chaos is vacuous")
+	}
+	if totalRebalanced.Load() == 0 {
+		t.Fatal("no job was ever re-routed; handoff path untested")
+	}
+	t.Logf("chaos sweep: %d seeds, %d remediations, %d jobs re-routed, %d classified failures",
+		seeds, totalRemediations.Load(), totalRebalanced.Load(), totalFailed.Load())
+}
+
+func runChaosSeed(t *testing.T, seed int64) (remediations, rebalanced, failed int64) {
+	const (
+		numHosts      = 3
+		numTenants    = 3
+		jobsPerTenant = 12
+		outstanding   = 6
+	)
+	c := getChaosCorpus()
+	rng := rand.New(rand.NewSource(seed))
+	ch := &chaosHosts{injs: make(map[int]*faults.Injector), syss: make(map[int]*gpufs.System)}
+	cp, err := New(Config{
+		MaxRehomes:       6,
+		CriticalXIDLimit: 3,
+	}, numHosts, ch.factory(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type delivery struct {
+		spec serve.Job
+		res  Result
+	}
+	deliveries := make(chan delivery, numTenants*jobsPerTenant)
+	var admitted atomic.Int64
+
+	var traffic sync.WaitGroup
+	for ti := 0; ti < numTenants; ti++ {
+		traffic.Add(1)
+		go func(ti int) {
+			defer traffic.Done()
+			trng := rand.New(rand.NewSource(seed*1000 + int64(ti)))
+			tenant := fmt.Sprintf("t%d", ti)
+			sem := make(chan struct{}, outstanding)
+			var inner sync.WaitGroup
+			for ji := 0; ji < jobsPerTenant; ji++ {
+				spec := serve.Job{
+					Kind: serve.JobGrep,
+					Path: c.paths[trng.Intn(len(c.paths))],
+					Word: c.words[trng.Intn(len(c.words))],
+				}
+				sem <- struct{}{}
+				var fut *Future
+				for {
+					var err error
+					fut, err = cp.Submit(tenant, spec)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrNoHealthyHosts) || errors.Is(err, serve.ErrOverloaded) {
+						// Transient no-capacity window (mid-remediation)
+						// or queue full: back off and retry. These jobs
+						// were never admitted, so they are not owed a
+						// result.
+						runtime.Gosched()
+						continue
+					}
+					t.Errorf("seed %d: submit: %v", seed, err)
+					<-sem
+					return
+				}
+				admitted.Add(1)
+				inner.Add(1)
+				go func(spec serve.Job, fut *Future) {
+					defer inner.Done()
+					deliveries <- delivery{spec, fut.Wait()}
+					<-sem
+				}(spec, fut)
+			}
+			inner.Wait()
+		}(ti)
+	}
+
+	// The chaos driver: a few attacks spread across the traffic window.
+	var chaos sync.WaitGroup
+	chaos.Add(1)
+	attacks := 1 + rng.Intn(3)
+	go func() {
+		defer chaos.Done()
+		for i := 0; i < attacks; i++ {
+			time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+			ch.attack(rng, rng.Intn(numHosts))
+			// Tick the organic schedule too, against random hosts.
+			cp.PumpXID(rng.Intn(numHosts), 4)
+		}
+	}()
+
+	// Never hangs: the whole seed — traffic, chaos, drain — under a
+	// watchdog.
+	done := make(chan struct{})
+	go func() {
+		traffic.Wait()
+		chaos.Wait()
+		cp.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatalf("seed %d: fleet hung (traffic or drain never finished)", seed)
+	}
+	close(deliveries)
+
+	// Exactly-once, classified, correct.
+	var delivered, failures int64
+	for d := range deliveries {
+		delivered++
+		if d.res.Err != nil {
+			failures++
+			if errors.Is(d.res.Err, serve.ErrHandedOff) {
+				t.Errorf("seed %d: ErrHandedOff leaked to a client", seed)
+			}
+			continue
+		}
+		want := c.grep[d.spec.Path+"\x00"+d.spec.Word]
+		if d.res.Count != want {
+			t.Errorf("seed %d: grep %q in %s = %d, want %d (host %d, %d rehomes)",
+				seed, d.spec.Word, d.spec.Path, d.res.Count, want, d.res.Host, d.res.Rehomes)
+		}
+	}
+	if delivered != admitted.Load() {
+		t.Errorf("seed %d: %d admitted, %d delivered — jobs lost or duplicated",
+			seed, admitted.Load(), delivered)
+	}
+	snap := cp.Snapshot()
+	if snap.Delivered() != snap.Admitted {
+		t.Errorf("seed %d: fleet books unbalanced: admitted=%d delivered=%d",
+			seed, snap.Admitted, snap.Delivered())
+	}
+	return snap.Remediations, snap.Rebalanced, failures
+}

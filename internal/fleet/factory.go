@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"fmt"
+
+	"gpufs"
+	"gpufs/internal/faults"
+	"gpufs/internal/metrics"
+	"gpufs/internal/serve"
+)
+
+// SimHostConfig describes how SimHostFactory builds each simulated host:
+// one gpufs.System (the machine) wrapped by one serve.Server (the serving
+// frontend), exactly the stack cmd/gpufs-serve runs single-host.
+type SimHostConfig struct {
+	// Scale is the gpufs.ScaledConfig factor per host. Default 1/256 (the
+	// test scale: hosts are cheap enough to build fleets of).
+	Scale float64
+	// NumGPUs per host; 0 keeps the scaled config's default.
+	NumGPUs int
+	// Serve tunes each host's server.
+	Serve serve.Config
+	// Faults, when non-nil, enables fault injection on every host, with
+	// the seed re-derived per (host, incarnation) so each machine — and
+	// each replacement machine — lives its own deterministic fault
+	// history. A replaced host does not replay its predecessor's faults.
+	Faults *faults.Config
+	// Setup populates a freshly built host (corpus files, warmup) before
+	// it takes traffic. Replacement hosts run it too: a real replacement
+	// re-syncs its data from durable storage; the simulated one rewrites
+	// its corpus.
+	Setup func(hostID, incarnation int, sys *gpufs.System) error
+	// Metrics, when non-nil, is attached to every host system and server,
+	// aggregating the whole fleet's serving metrics into one registry
+	// (the multi-System idiom from internal/metrics). Fleet-level gauges
+	// come from Config.Metrics on the control plane, typically the same
+	// registry.
+	Metrics *metrics.Registry
+}
+
+// hostFaultSeed derives a host incarnation's fault seed from the base:
+// distinct per slot and per replacement, stable across runs.
+func hostFaultSeed(base int64, hostID, incarnation int) int64 {
+	return base + int64(hostID)*1_000_003 + int64(incarnation)*7_919
+}
+
+// SimHostFactory returns a HostFactory that builds full simulated hosts.
+// The factory is deterministic: (hostID, incarnation) fixes the machine's
+// configuration, corpus, and fault schedule.
+func SimHostFactory(hc SimHostConfig) HostFactory {
+	return func(hostID, incarnation int) (serve.Backend, *faults.Injector, error) {
+		scale := hc.Scale
+		if scale <= 0 {
+			scale = 1.0 / 256
+		}
+		cfg := gpufs.ScaledConfig(scale)
+		if hc.NumGPUs > 0 {
+			cfg.NumGPUs = hc.NumGPUs
+		}
+		sys, err := gpufs.NewSystemWithMetrics(cfg, hc.Metrics)
+		if err != nil {
+			return nil, nil, fmt.Errorf("host %d inc %d: %w", hostID, incarnation, err)
+		}
+		var inj *faults.Injector
+		if hc.Faults != nil {
+			fc := *hc.Faults
+			fc.Seed = hostFaultSeed(fc.Seed, hostID, incarnation)
+			inj = sys.EnableFaults(fc)
+		}
+		if hc.Setup != nil {
+			if err := hc.Setup(hostID, incarnation, sys); err != nil {
+				return nil, nil, fmt.Errorf("host %d inc %d setup: %w", hostID, incarnation, err)
+			}
+		}
+		return serve.New(sys, hc.Serve), inj, nil
+	}
+}

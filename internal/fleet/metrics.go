@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"gpufs/internal/faults"
+	"gpufs/internal/metrics"
+)
+
+// fleetMetrics are the control plane's instrument handles (gpufs_fleet_*,
+// DESIGN.md §11). Built once at New; every handle is nil when no registry
+// was configured, and the instruments are nil-safe, so the hooks cost one
+// pointer test in that case — the same idiom as serveMetrics.
+type fleetMetrics struct {
+	admitted   *metrics.Counter // gpufs_fleet_jobs_total{outcome=admitted}
+	succeeded  *metrics.Counter // gpufs_fleet_jobs_total{outcome=succeeded}
+	failedJobs *metrics.Counter // gpufs_fleet_jobs_total{outcome=failed}
+	rebalanced *metrics.Counter // jobs re-routed across hosts
+	cordons    *metrics.Counter // hosts condemned by the monitor or operator
+	handoffs   *metrics.Counter // queued jobs returned by draining hosts
+	// remediations counts completed cordon→drain→replace cycles.
+	remediations *metrics.Counter
+	// xidEvents counts device error events by severity.
+	xidEvents map[faults.XIDSeverity]*metrics.Counter
+	// openJobs tracks fleet jobs currently placed on some host.
+	openJobs *metrics.Gauge
+}
+
+// newFleetMetrics resolves the fleet instrument handles in reg and
+// registers the per-state host gauges, which read the control plane's
+// live host table at snapshot time. A nil reg yields all-nil handles.
+func newFleetMetrics(reg *metrics.Registry, cp *ControlPlane) *fleetMetrics {
+	m := &fleetMetrics{xidEvents: make(map[faults.XIDSeverity]*metrics.Counter)}
+	if reg == nil {
+		return m
+	}
+	reg.SetHelp("gpufs_fleet_hosts", "Hosts by remediation state.")
+	reg.SetHelp("gpufs_fleet_jobs_total", "Fleet job admissions and outcomes.")
+	reg.SetHelp("gpufs_fleet_rebalanced_total", "Jobs re-routed across hosts (handoffs plus sick-host retries).")
+	reg.SetHelp("gpufs_fleet_cordons_total", "Hosts removed from rotation by the health monitor or operator.")
+	reg.SetHelp("gpufs_fleet_handoffs_total", "Queued jobs handed back by draining hosts for re-routing.")
+	reg.SetHelp("gpufs_fleet_remediations_total", "Completed cordon-drain-replace cycles.")
+	reg.SetHelp("gpufs_fleet_xid_events_total", "Device XID error events by severity.")
+	reg.SetHelp("gpufs_fleet_open_jobs", "Fleet jobs currently placed on a host.")
+
+	for st := HostHealthy; st < numHostStates; st++ {
+		st := st
+		reg.GaugeFunc("gpufs_fleet_hosts",
+			func() int64 { return cp.countState(st) }, "state", st.String())
+	}
+	m.admitted = reg.Counter("gpufs_fleet_jobs_total", "outcome", "admitted")
+	m.succeeded = reg.Counter("gpufs_fleet_jobs_total", "outcome", "succeeded")
+	m.failedJobs = reg.Counter("gpufs_fleet_jobs_total", "outcome", "failed")
+	m.rebalanced = reg.Counter("gpufs_fleet_rebalanced_total")
+	m.cordons = reg.Counter("gpufs_fleet_cordons_total")
+	m.handoffs = reg.Counter("gpufs_fleet_handoffs_total")
+	m.remediations = reg.Counter("gpufs_fleet_remediations_total")
+	for _, sev := range []faults.XIDSeverity{faults.XIDWarn, faults.XIDCritical, faults.XIDFatal} {
+		m.xidEvents[sev] = reg.Counter("gpufs_fleet_xid_events_total", "severity", sev.String())
+	}
+	m.openJobs = reg.Gauge("gpufs_fleet_open_jobs")
+	return m
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import "fmt"
+
+// The remediation loop. One goroutine walks cordoned hosts through
+//
+//	Cordoned ─▶ Draining ─▶ Replacing ─▶ Healthy (or Dead)
+//
+// while the frontend keeps admitting traffic to the rest of the fleet:
+//
+//   - Draining calls the backend's DrainForHandoff WITHOUT the control
+//     plane lock — admission, routing, and snapshots proceed throughout.
+//     Jobs the host had queued but never launched come back completed
+//     with serve.ErrHandedOff; their fleet watchers re-route each one to
+//     a healthy host. Jobs already in flight finish where they are (their
+//     results are valid — the kernels are read-only — and re-executing
+//     them elsewhere would double-run work the exactly-once story
+//     forbids).
+//   - Replacing calls the host factory, also without the lock (a real
+//     factory provisions a machine; even the simulated one builds a whole
+//     gpufs.System). Success installs the new backend under a bumped
+//     incarnation with a clean health record; failure marks the slot
+//     Dead, and the fleet runs on at reduced capacity.
+//
+// Cordoning is a one-way door per incarnation: once a host leaves
+// Healthy, only a successful replacement brings traffic back to the slot.
+
+// Cordon manually cordons a healthy host (the operator's knob; the chaos
+// tests' kill switch). It reports false if the id is out of range or the
+// host already left Healthy.
+func (cp *ControlPlane) Cordon(hostID int, reason string) bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if hostID < 0 || hostID >= len(cp.hosts) {
+		return false
+	}
+	h := cp.hosts[hostID]
+	if h.state != HostHealthy {
+		return false
+	}
+	cp.cordonLocked(h, reason)
+	return true
+}
+
+// cordonLocked moves h out of the traffic rotation and wakes the
+// remediator. cp.mu held.
+func (cp *ControlPlane) cordonLocked(h *host, reason string) {
+	h.state = HostCordoned
+	h.reason = reason
+	cp.met.cordons.Inc()
+	cp.eventLocked(h.id, "cordon", "%s", reason)
+	cp.cond.Broadcast()
+}
+
+// remediator is the control plane's single remediation worker. Serializing
+// replacements is deliberate: remediation capacity is itself a resource,
+// and draining every sick host at once could empty the fleet.
+func (cp *ControlPlane) remediator() {
+	defer cp.remWG.Done()
+	for {
+		cp.mu.Lock()
+		var h *host
+		for {
+			h = nil
+			for _, c := range cp.hosts {
+				if c.state == HostCordoned {
+					h = c
+					break
+				}
+			}
+			if h != nil || cp.stopping {
+				break
+			}
+			cp.cond.Wait()
+		}
+		if h == nil {
+			cp.mu.Unlock()
+			return // stopping, and no cordoned host left behind
+		}
+		h.state = HostDraining
+		oldInc := h.incarnation
+		backend := h.backend
+		cp.eventLocked(h.id, "drain", "incarnation %d draining: %s", oldInc, h.reason)
+		cp.cond.Broadcast()
+		cp.mu.Unlock()
+
+		// Unlocked: queued jobs come back ErrHandedOff (watchers re-route
+		// them concurrently with this call), in-flight jobs finish.
+		handed := backend.DrainForHandoff()
+
+		cp.mu.Lock()
+		cp.met.handoffs.Add(int64(handed))
+		cp.eventLocked(h.id, "handoff", "%d queued jobs handed off, in-flight complete", handed)
+		h.state = HostReplacing
+		cp.cond.Broadcast()
+		cp.mu.Unlock()
+
+		// Unlocked: provisioning a replacement can be slow.
+		nb, inj, err := cp.factory(h.id, oldInc+1)
+
+		cp.mu.Lock()
+		if err != nil {
+			h.state = HostDead
+			h.reason = fmt.Sprintf("replacement failed: %v", err)
+			cp.eventLocked(h.id, "replace-failed", "%v", err)
+			cp.eventLocked(h.id, "dead", "slot retired, fleet capacity reduced")
+		} else {
+			h.backend = nb
+			h.inj = inj
+			h.incarnation = oldInc + 1
+			h.state = HostHealthy
+			h.reason = ""
+			h.open = 0
+			h.health = hostHealth{}
+			cp.remediations++
+			cp.met.remediations.Inc()
+			cp.eventLocked(h.id, "replace", "incarnation %d in rotation", h.incarnation)
+			cp.subscribeXID(h.id, h.incarnation, inj)
+		}
+		cp.cond.Broadcast()
+		cp.mu.Unlock()
+	}
+}

@@ -143,6 +143,18 @@ func (d *Device) Faulted() error {
 	return d.faulted
 }
 
+// InjectFault latches a device fault from the outside, modelling a
+// hardware-level failure (an XID-class error) rather than a kernel bug:
+// subsequent Launches fail until ResetFault, exactly as if a kernel had
+// faulted. An already-faulted device keeps its original error.
+func (d *Device) InjectFault(cause error) {
+	d.mu.Lock()
+	if d.faulted == nil {
+		d.faulted = fmt.Errorf("%w: injected: %v", ErrKernelFault, cause)
+	}
+	d.mu.Unlock()
+}
+
 // ResetFault clears the fault state, modelling a GPU restart. Device memory
 // contents survive here (unlike real hardware) so tests can inspect state.
 func (d *Device) ResetFault() {

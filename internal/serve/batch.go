@@ -289,7 +289,12 @@ func (s *Server) completeJob(j *job, g int, batchID int64, started, done simtime
 	s.mu.Lock()
 	tn := s.tenants[j.tenant]
 	tn.open--
-	if err != nil {
+	if errors.Is(err, ErrHandedOff) {
+		// The job never launched here and will run elsewhere: a routing
+		// outcome, not a failure.
+		tn.stats.HandedOff++
+		s.gstats[g].HandedOff++
+	} else if err != nil {
 		tn.stats.Failed++
 		s.gstats[g].Failed++
 	} else {
@@ -300,13 +305,17 @@ func (s *Server) completeJob(j *job, g int, batchID int64, started, done simtime
 		}
 	}
 	lat := done.Sub(j.arrival)
-	s.lat = append(s.lat, lat)
-	// EWMA of per-job service time feeds the overload retry-after hint.
-	s.svcEst = (s.svcEst*7 + lat) / 8
+	if !errors.Is(err, ErrHandedOff) {
+		// Handed-off jobs never ran here: their queue-only dwell time
+		// would pollute the service estimate and the latency series.
+		s.lat = append(s.lat, lat)
+		// EWMA of per-job service time feeds the overload retry-after hint.
+		s.svcEst = (s.svcEst*7 + lat) / 8
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
-	if m := s.met; m != nil {
+	if m := s.met; m != nil && !errors.Is(err, ErrHandedOff) {
 		m.jobLatency[g].ObserveDuration(lat)
 		if errors.Is(err, ErrDeadlineExceeded) {
 			m.deadlineMiss[g].Inc()

@@ -129,6 +129,45 @@ func (f *Future) Done() <-chan Result { return f.ch }
 // Wait blocks for the result.
 func (f *Future) Wait() Result { return <-f.ch }
 
+// NewFuture returns an unresolved Future plus the function that completes
+// it. Alternative Backend implementations (fakes, remote proxies) use it to
+// mint futures with the same exactly-once delivery contract the Server
+// provides; the resolve function must be called exactly once.
+func NewFuture() (*Future, func(Result)) {
+	f := &Future{ch: make(chan Result, 1)}
+	return f, func(r Result) { f.ch <- r }
+}
+
+// Backend is the seam between one serving host and a cluster control plane
+// (internal/fleet): everything the fleet needs to route, observe, and
+// remediate a host, with the host's implementation hidden behind it. The
+// *Server over a simulated gpufs.System is the implementation of record
+// ("real" hardware would slot in the same way); internal/fleet carries a
+// FakeBackend for control-plane tests that need scripted completions.
+type Backend interface {
+	// Submit admits one job for tenant (see Server.Submit).
+	Submit(tenant string, job Job) (*Future, error)
+	// Drain stops admission and waits for every admitted job to complete.
+	Drain()
+	// DrainForHandoff stops admission, completes every job that has not
+	// yet launched with ErrHandedOff (so the caller can requeue it
+	// elsewhere), waits for in-flight work, and shuts the host down. It
+	// returns the number of jobs handed off.
+	DrainForHandoff() int
+	// Load reports the host's instantaneous backlog: queued plus
+	// in-flight jobs.
+	Load() int
+	// ResidentPages reports the most buffer-cache pages of path any of
+	// the host's GPUs holds — the fleet's cache-affinity signal.
+	ResidentPages(path string) int64
+	// Now is the host's virtual time (latest observed batch completion).
+	Now() simtime.Time
+	// NumGPUs reports the host's device count (capacity accounting).
+	NumGPUs() int
+	// Stats snapshots the host's serving counters.
+	Stats() Stats
+}
+
 // Policy selects the placement layer's routing.
 type Policy uint8
 
@@ -217,6 +256,11 @@ func (c *Config) withDefaults() Config {
 var (
 	// ErrDraining rejects submissions after Drain began.
 	ErrDraining = errors.New("serve: server is draining")
+	// ErrHandedOff completes a job that DrainForHandoff flushed before it
+	// ever launched: the job was NOT executed here and is safe to resubmit
+	// verbatim on another server. A control plane treats this result as a
+	// re-routing signal, never as a client-visible failure.
+	ErrHandedOff = errors.New("serve: job handed off during drain")
 	// ErrOverloaded is wrapped by OverloadError on admission rejection.
 	ErrOverloaded = errors.New("serve: tenant queue full")
 	// ErrDeadlineExceeded fails a job whose virtual deadline passed.
@@ -429,8 +473,14 @@ func (s *Server) retryAfterLocked() simtime.Duration {
 
 // Drain stops admission, waits for every queued and in-flight job to
 // complete (including fault-driven retries), and shuts the workers down.
-// It is the graceful-shutdown path and is safe to call exactly once;
-// subsequent Submits fail with ErrDraining.
+// It is the graceful-shutdown path and is safe to call exactly once.
+//
+// The admission race is first-come-first-served on the server lock, and
+// there is no in-between outcome: a Submit that wins the lock before Drain
+// is admitted, its Future is serviced to completion before Drain returns; a
+// Submit that loses fails with ErrDraining and returns no Future. A Future
+// Submit returned is NEVER abandoned (TestSubmitDrainRace pins this).
+// Exactly one of Drain / DrainForHandoff may be called, once.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
@@ -443,6 +493,79 @@ func (s *Server) Drain() {
 	s.mu.Unlock()
 	s.wg.Wait()
 }
+
+// DrainForHandoff is the remediation-path drain: it stops admission,
+// flushes every job that has not yet been taken into a kernel launch —
+// completing each with ErrHandedOff so the caller can resubmit it on
+// another host — waits for in-flight batches (whose jobs complete or fail
+// normally, retries included; a retry requeued mid-drain is flushed, not
+// re-executed here), and shuts the workers down. It returns the number of
+// jobs handed off. Like Drain it may be called once, and every admitted
+// Future still completes exactly once.
+func (s *Server) DrainForHandoff() int {
+	type flushedJob struct {
+		j *job
+		g int
+	}
+	var flushed []flushedJob
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	for {
+		for g, q := range s.queues {
+			if q.size == 0 {
+				continue
+			}
+			for _, j := range q.pop(q.size) {
+				flushed = append(flushed, flushedJob{j, g})
+			}
+			s.met.noteQueueDepth(g, 0)
+		}
+		if s.idleLocked() {
+			break
+		}
+		s.cond.Wait()
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	now := simtime.Time(s.vnow.Load())
+	for _, f := range flushed {
+		s.completeJob(f.j, f.g, -1, now, now, ErrHandedOff)
+	}
+	return len(flushed)
+}
+
+// Load reports the instantaneous backlog: queued plus in-flight jobs.
+func (s *Server) Load() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for g, q := range s.queues {
+		n += q.size + s.inflight[g]
+	}
+	return n
+}
+
+// ResidentPages reports the most buffer-cache pages of path any GPU on
+// this host holds — the cross-host cache-affinity signal the fleet
+// scheduler routes on.
+func (s *Server) ResidentPages(path string) int64 {
+	var best int64
+	for g := 0; g < s.sys.NumGPUs(); g++ {
+		if p := s.sys.GPU(g).ResidentPages(path); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// NumGPUs reports the underlying machine's device count.
+func (s *Server) NumGPUs() int { return s.sys.NumGPUs() }
+
+// Server implements Backend.
+var _ Backend = (*Server)(nil)
 
 // idleLocked reports whether no work is queued or in flight anywhere.
 func (s *Server) idleLocked() bool {

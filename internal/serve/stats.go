@@ -14,8 +14,9 @@ type TenantStats struct {
 	// refusals; MaxQueued is the high-water mark of jobs in the system.
 	Submitted, Rejected int64
 	MaxQueued           int
-	// Completed and Failed partition finished jobs.
-	Completed, Failed int64
+	// Completed and Failed partition finished jobs; HandedOff counts jobs
+	// DrainForHandoff returned unexecuted for resubmission elsewhere.
+	Completed, Failed, HandedOff int64
 }
 
 // GPUStats is one device's serving counters.
@@ -36,6 +37,9 @@ type GPUStats struct {
 	Completed, Failed, AffinityHits int64
 	// Restarts counts fault-driven GPU.Restart recoveries.
 	Restarts int64
+	// HandedOff counts jobs flushed from this device's queue by
+	// DrainForHandoff — never launched here, resubmitted elsewhere.
+	HandedOff int64
 	// PrefetchIssued/PrefetchUsed/PrefetchWasted are this device's
 	// buffer-cache read-ahead counters (core.CacheStats): speculative
 	// pages launched, consumed by a demand access, and reclaimed unused.
@@ -106,6 +110,15 @@ func (st Stats) Failed() int64 {
 	var n int64
 	for _, g := range st.GPUs {
 		n += g.Failed
+	}
+	return n
+}
+
+// HandedOff sums jobs DrainForHandoff flushed across GPUs.
+func (st Stats) HandedOff() int64 {
+	var n int64
+	for _, g := range st.GPUs {
+		n += g.HandedOff
 	}
 	return n
 }
@@ -201,8 +214,8 @@ func (st Stats) String() string {
 	sort.Strings(names)
 	for _, name := range names {
 		ts := st.Tenants[name]
-		fmt.Fprintf(&b, "tenant %s: %d submitted, %d rejected, %d completed, %d failed (max queued %d)\n",
-			name, ts.Submitted, ts.Rejected, ts.Completed, ts.Failed, ts.MaxQueued)
+		fmt.Fprintf(&b, "tenant %s: %d submitted, %d rejected, %d completed, %d failed, %d handed off (max queued %d)\n",
+			name, ts.Submitted, ts.Rejected, ts.Completed, ts.Failed, ts.HandedOff, ts.MaxQueued)
 	}
 	return b.String()
 }
