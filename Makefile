@@ -7,8 +7,9 @@
 #                die), the bench guardrail pinning the Fig4 16K
 #                throughput and daemon-scaling speedup to BENCH_4.json,
 #                and the 4-host fleet remediation demo end to end.
-#   fuzz-smoke — 30s coverage-guided run of the radix-tree fuzzer; CI
-#                budget, not a soak. Extend -fuzztime for real hunts.
+#   fuzz-smoke — 30s coverage-guided runs of the radix-tree fuzzer and
+#                the syscall wire-frame round-trip fuzzer; CI budget, not
+#                a soak. Extend -fuzztime for real hunts.
 #   stress     — the fault-injection oracle at full depth (500 seeds),
 #                race-enabled, on its own for quick iteration.
 #   soak       — the serving-layer soak (internal/serve): 1,000+ jobs from
@@ -21,9 +22,10 @@
 #                show cordon/drain/replace, fail if any admitted job is
 #                lost or fault-phase throughput drops below 60% of
 #                steady state.
-#   bench-smoke — the Readahead policy experiment at 1/256 scale, one
-#                rep: a seconds-long CI check that the bench harness and
-#                the adaptive read-ahead engine still run end to end.
+#   bench-smoke — the Readahead policy and syscall Ordering experiments
+#                at 1/256 scale, one rep: a seconds-long CI check that
+#                the bench harness, the adaptive read-ahead engine, and
+#                the ordering-aware transport still run end to end.
 
 GO ?= go
 
@@ -43,6 +45,7 @@ tier2:
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRadixTree -fuzztime 30s ./internal/core/radix
+	$(GO) test -run '^$$' -fuzz FuzzSyscallFrame -fuzztime 30s ./internal/gsys
 
 stress:
 	$(GO) test -race -count=1 -run TestFaultStressOracle ./internal/core
@@ -61,3 +64,4 @@ bench:
 
 bench-smoke:
 	$(GO) run ./cmd/gpufs-bench -exp readahead -scale 0.00390625 -reps 1
+	$(GO) run ./cmd/gpufs-bench -exp ordering -scale 0.00390625 -reps 1

@@ -20,6 +20,13 @@
 // workload runs against an internal/fleet control plane over N simulated
 // hosts, a fatal XID is injected mid-run, and the run demonstrates
 // cordon/drain/replace remediation with zero admitted jobs lost.
+//
+// -pipeline runs the pipe-connected two-stage kernel workload instead of
+// the closed-loop soak: a producer kernel on GPU 0 uppercases the corpus
+// through the GPUfs API and streams it over a gpipe to a consumer kernel
+// on GPU 1, which assembles and fsyncs the output. -pipeline-gran picks
+// the producer's read granularity (thread, warp, or block); -ordering
+// sets the syscall layer's default ordering class for every kernel.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"sync"
 
 	"gpufs"
+	"gpufs/internal/gsys"
 	"gpufs/internal/metrics"
 	"gpufs/internal/serve"
 	"gpufs/internal/workloads"
@@ -50,6 +58,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0/256, "uniform scale factor for capacities")
 	seed := flag.Int64("seed", 1, "workload seed")
 	faults := flag.Bool("faults", false, "inject the standard RPC/host fault mix")
+	ordering := flag.String("ordering", "", `syscall ordering class: "strong" or "relaxed" (empty = config default)`)
+	pipeline := flag.Bool("pipeline", false, "run the two-stage gpipe pipeline workload instead of the soak")
+	pipelineGran := flag.String("pipeline-gran", "thread", "pipeline producer read granularity: thread, warp, or block")
+	pipeCap := flag.Int("pipe-cap", 16<<10, "pipeline gpipe buffer capacity in bytes")
 	metricsOut := flag.String("metrics", "", `write a Prometheus text exposition to this path at exit ("-" = stdout)`)
 	metricsNDJSON := flag.String("metrics-ndjson", "", `write metrics as NDJSON (one object per series) to this path at exit ("-" = stdout)`)
 	flag.Parse()
@@ -71,6 +83,18 @@ func main() {
 		usageError("-batch must be >= 1, got %d", *batch)
 	case *scale <= 0:
 		usageError("-scale must be > 0, got %g", *scale)
+	}
+	if _, err := gsys.ParseOrdering(*ordering); err != nil {
+		usageError("-ordering: %v", err)
+	}
+	if _, err := gsys.ParseGranularity(*pipelineGran); err != nil {
+		usageError("-pipeline-gran: %v", err)
+	}
+	if *pipeline && *gpus < 2 {
+		usageError("-pipeline needs at least 2 GPUs (producer and consumer run concurrently), got -gpus %d", *gpus)
+	}
+	if *pipeCap < 512 {
+		usageError("-pipe-cap must be >= 512 bytes, got %d", *pipeCap)
 	}
 	var pol serve.Policy
 	switch *policy {
@@ -94,6 +118,7 @@ func main() {
 
 	cfg := gpufs.ScaledConfig(*scale)
 	cfg.NumGPUs = *gpus
+	cfg.SyscallOrdering = *ordering
 	cfg.MetricsEnabled = *metricsOut != "" || *metricsNDJSON != ""
 	sys, err := gpufs.NewSystem(cfg)
 	if err != nil {
@@ -126,6 +151,11 @@ func main() {
 			DiskStallProb:       0.05,
 			DMAStallProb:        0.05,
 		})
+	}
+
+	if *pipeline {
+		runPipeline(sys, paths, *pipelineGran, *pipeCap)
+		return
 	}
 
 	srv := serve.New(sys, serve.Config{
@@ -204,6 +234,31 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runPipeline drives the two-stage gpipe workload over the staged corpus
+// and reports its virtual-time result.
+func runPipeline(sys *gpufs.System, paths []string, gran string, pipeCap int) {
+	fmt.Printf("gpufs-serve: pipeline over %d input(s), granularity %s, pipe %d bytes\n",
+		len(paths), gran, pipeCap)
+	res, err := serve.RunPipeline(sys, serve.PipelineConfig{
+		Inputs:      paths,
+		Output:      "/serve/pipeline.out",
+		ConsumerGPU: 1,
+		PipeCap:     pipeCap,
+		Blocks:      2,
+		Threads:     64,
+		Granularity: gran,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pipeline: %d bytes through the pipe in %d records, output verified\n",
+		res.BytesConsumed, res.Records)
+	if res.WarpDescriptors > 0 {
+		fmt.Printf("pipeline: %d coalesced warp read descriptors\n", res.WarpDescriptors)
+	}
+	fmt.Printf("pipeline: virtual makespan %.3fs\n", res.Elapsed.Seconds())
 }
 
 // exportMetrics writes one exposition format to path ("-" = stdout; empty =

@@ -16,8 +16,21 @@ var benchReg *metrics.Registry
 // benchmark is running.
 func SetMetricsRegistry(reg *metrics.Registry) { benchReg = reg }
 
+// benchOrdering is the default syscall ordering stamped on every system
+// the bench suite builds, unless an experiment pins its own (the Ordering
+// sweep does). Empty keeps the config default (strong).
+var benchOrdering string
+
+// SetDefaultOrdering sets the syscall ordering (""/"strong"/"relaxed")
+// applied to subsequently constructed bench systems that do not choose
+// one themselves. Not safe to call while a benchmark is running.
+func SetDefaultOrdering(ordering string) { benchOrdering = ordering }
+
 // newSystem is the bench suite's system constructor: gpufs.NewSystem plus
-// the shared registry, when one is attached.
+// the shared registry and default ordering, when attached.
 func newSystem(cfg gpufs.Config) (*gpufs.System, error) {
+	if cfg.SyscallOrdering == "" {
+		cfg.SyscallOrdering = benchOrdering
+	}
 	return gpufs.NewSystemWithMetrics(cfg, benchReg)
 }

@@ -4,7 +4,7 @@ import (
 	"sync/atomic"
 
 	"gpufs/internal/core/radix"
-	"gpufs/internal/rpc"
+	"gpufs/internal/gsys"
 	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
 )
@@ -50,7 +50,7 @@ type cleanLane struct {
 	id   int
 	busy atomic.Bool
 	clk  *simtime.Clock
-	lane *rpc.Client
+	lane *gsys.Client
 }
 
 func newCleaner(fs *FS, workers int) *cleaner {
@@ -68,7 +68,7 @@ func newCleaner(fs *FS, workers int) *cleaner {
 		c.lanes = append(c.lanes, &cleanLane{
 			id:   i,
 			clk:  simtime.NewClock(0),
-			lane: fs.client.Bind(cleanerLaneBase + i),
+			lane: fs.sys.Bind(cleanerLaneBase + i),
 		})
 	}
 	return c

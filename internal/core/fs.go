@@ -29,6 +29,7 @@ import (
 	"gpufs/internal/core/pcache"
 	"gpufs/internal/core/radix"
 	"gpufs/internal/gpu"
+	"gpufs/internal/gsys"
 	"gpufs/internal/hostfs"
 	"gpufs/internal/memsys"
 	"gpufs/internal/metrics"
@@ -113,6 +114,15 @@ type Options struct {
 	// never acquire resources, so timing is bit-identical with or without
 	// them. Nil keeps every hook at a single pointer test.
 	Metrics *metrics.Registry
+	// Syscalls is the host syscall service (table + pipes) shared by the
+	// system's GPUs. Nil builds a private service over the client's
+	// server — file semantics are identical; only cross-GPU pipes need
+	// the shared table.
+	Syscalls *gsys.Service
+	// SyscallOrdering selects the default ordering class workloads see
+	// through Config(); the file API itself always issues strong where
+	// the paper's semantics require it. Parsed by gsys.ParseOrdering.
+	SyscallOrdering gsys.Ordering
 }
 
 // FS is the GPUfs instance of a single GPU: the top software layer of
@@ -121,6 +131,7 @@ type FS struct {
 	gpuID  int
 	opt    Options
 	client *rpc.Client
+	sys    *gsys.Client
 	cache  *pcache.Cache
 
 	mu     sync.Mutex
@@ -165,6 +176,15 @@ type FS struct {
 	// page resident, a miss faults it in (the initializer path).
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// gpread_warp accounting (ISSUE 7): calls, warps coalesced into one
+	// descriptor, and total descriptors issued.
+	warpReadCalls   atomic.Int64
+	warpCoalesced   atomic.Int64
+	warpDescriptors atomic.Int64
+
+	// pipeNames maps pipe handles to names for tracing (guarded by mu).
+	pipeNames map[int64]string
 
 	// met holds pre-resolved metrics handles; nil when Options.Metrics is.
 	met *fsMetrics
@@ -286,10 +306,15 @@ func New(gpuID int, opt Options, client *rpc.Client, mem *memsys.Arena) (*FS, er
 	if err != nil {
 		return nil, err
 	}
+	svc := opt.Syscalls
+	if svc == nil {
+		svc = gsys.NewService(client.Server())
+	}
 	fs := &FS{
 		gpuID:        gpuID,
 		opt:          opt,
 		client:       client,
+		sys:          gsys.NewClient(svc, client),
 		cache:        cache,
 		byPath:       make(map[string]int),
 		closed:       make(map[int64]*fileCache),
@@ -347,12 +372,14 @@ func (fs *FS) attachMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("gpufs_core_closed_reuses_total", fs.closedReuses.Load, "gpu", gpuL)
 	reg.GaugeFunc("gpufs_core_spec_pending", fs.specPending.Load, "gpu", gpuL)
 
-	m := &fsMetrics{op: make([]*metrics.Histogram, int(trace.OpClean)+1)}
+	m := &fsMetrics{op: make([]*metrics.Histogram, int(trace.OpPipeClose)+1)}
 	for _, op := range []trace.Op{
 		trace.OpOpen, trace.OpClose, trace.OpRead, trace.OpWrite,
 		trace.OpFsync, trace.OpMmap, trace.OpMunmap, trace.OpMsync,
 		trace.OpUnlink, trace.OpFstat, trace.OpFtruncate,
 		trace.OpEvict, trace.OpPrefetch, trace.OpClean,
+		trace.OpReaddir, trace.OpReadWarp,
+		trace.OpPipeOpen, trace.OpPipeRead, trace.OpPipeWrite, trace.OpPipeClose,
 	} {
 		m.op[op] = reg.DurationHistogram("gpufs_core_op_seconds",
 			"gpu", gpuL, "op", op.String())
@@ -378,13 +405,17 @@ func (fs *FS) PageSize() int64 { return fs.opt.PageSize }
 // Cache exposes the frame pool (stats and tests).
 func (fs *FS) Cache() *pcache.Cache { return fs.cache }
 
-// Client exposes the RPC endpoint (stats and tests).
+// Client exposes the RPC transport endpoint (stats and tests).
 func (fs *FS) Client() *rpc.Client { return fs.client }
 
-// lane returns the RPC client view bound to the block's home ring shard,
-// so a threadblock's requests keep FIFO order on one ring while blocks on
-// different shards overlap across daemon workers.
-func (fs *FS) lane(b *gpu.Block) *rpc.Client { return fs.client.Bind(b.Idx) }
+// Syscalls exposes the syscall endpoint (workloads and tests).
+func (fs *FS) Syscalls() *gsys.Client { return fs.sys }
+
+// lane returns the syscall client view bound to the block's home ring
+// shard, so a threadblock's calls keep FIFO order on one ring while
+// blocks on different shards overlap across daemon workers. Strong
+// ordering (the default for every call below) rides the per-lane fence.
+func (fs *FS) lane(b *gpu.Block) *gsys.Client { return fs.sys.Bind(b.Idx) }
 
 // newFileCache builds an empty cache for a file.
 func (fs *FS) newFileCache(path string, ino, gen, size int64) *fileCache {

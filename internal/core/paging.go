@@ -8,7 +8,7 @@ import (
 	"gpufs/internal/core/pcache"
 	"gpufs/internal/core/radix"
 	"gpufs/internal/gpu"
-	"gpufs/internal/rpc"
+	"gpufs/internal/gsys"
 	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
 )
@@ -153,7 +153,7 @@ func (fs *FS) evictPages(b *gpu.Block, target int) int {
 // clock; per-page bookkeeping advances it directly since no MP is
 // occupied).
 type evictActor struct {
-	lane  *rpc.Client
+	lane  *gsys.Client
 	clk   *simtime.Clock
 	busy  func(simtime.Duration)
 	block int // trace attribution; negative for cleaner lanes

@@ -6,6 +6,7 @@ import (
 	"gpufs/internal/core/pcache"
 	"gpufs/internal/core/radix"
 	"gpufs/internal/gpu"
+	"gpufs/internal/gsys"
 	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
 )
@@ -349,6 +350,16 @@ func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64, spec bool) bool
 // resident or in flight) split the run; a dry frame pool stops the span —
 // speculation never evicts.
 func (fs *FS) prefetchSpan(b *gpu.Block, f *file, start, count int64) {
+	fs.spanFetch(b, f, start, count, true, fs.lane(b))
+}
+
+// spanFetch is the engine behind prefetchSpan, parameterized so the
+// warp-read path can reuse it: spec selects speculative accounting
+// (prefetch counters, the Spec flag, the OpPrefetch trace), and cli is the
+// syscall view the vectored RPCs ride — gpread_warp passes a
+// warp-granularity view so its coalesced descriptors are stamped GranWarp
+// on the wire.
+func (fs *FS) spanFetch(b *gpu.Block, f *file, start, count int64, spec bool, cli *gsys.Client) {
 	fc := f.fc
 	ps := fs.opt.PageSize
 
@@ -371,7 +382,7 @@ func (fs *FS) prefetchSpan(b *gpu.Block, f *file, start, count int64) {
 		for i, cl := range run {
 			dsts[i] = cl.fr.Data
 		}
-		ns, done, err := fs.lane(b).ReadPagesVecAsync(b.Clock, f.hostFd, runFirst*ps, dsts)
+		ns, done, err := cli.ReadPagesVecAsync(b.Clock, f.hostFd, runFirst*ps, dsts)
 		if err != nil {
 			for _, cl := range run {
 				fs.cache.Release(cl.fr, false)
@@ -389,7 +400,9 @@ func (fs *FS) prefetchSpan(b *gpu.Block, f *file, start, count int64) {
 			cl.fr.ValidBytes.Store(int64(n))
 			cl.fr.ReadyAt.Store(int64(done))
 			cl.fr.Prefetched.Store(true)
-			cl.fr.Spec.Store(pcache.SpecPending)
+			if spec {
+				cl.fr.Spec.Store(pcache.SpecPending)
+			}
 			if f.writeShrd {
 				cl.fr.SetPristine(cl.fr.Data[:n])
 			}
@@ -401,9 +414,11 @@ func (fs *FS) prefetchSpan(b *gpu.Block, f *file, start, count int64) {
 			cl.fp.Unref()
 		}
 		b.Busy(fs.opt.APICostPerPage)
-		fs.prefetchIssued.Add(int64(len(run)))
-		fs.specPending.Add(int64(len(run)))
-		fs.record(b, trace.OpPrefetch, f.path, runFirst*ps, int64(len(run))*ps, issueStart, nil)
+		if spec {
+			fs.prefetchIssued.Add(int64(len(run)))
+			fs.specPending.Add(int64(len(run)))
+			fs.record(b, trace.OpPrefetch, f.path, runFirst*ps, int64(len(run))*ps, issueStart, nil)
+		}
 		run = run[:0]
 	}
 

@@ -6,7 +6,7 @@ import (
 	"gpufs/internal/core/pcache"
 	"gpufs/internal/core/radix"
 	"gpufs/internal/gpu"
-	"gpufs/internal/rpc"
+	"gpufs/internal/gsys"
 	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
 )
@@ -36,7 +36,7 @@ func (fs *FS) writeBackFrame(b *gpu.Block, hostFd int64, fr *pcache.Frame) error
 // writeBackFrameOn is writeBackFrame parameterized by the acting RPC lane
 // and clock, so the background cleaner can write pages back on its own
 // timeline instead of a faulting threadblock's.
-func (fs *FS) writeBackFrameOn(lane *rpc.Client, clk *simtime.Clock, hostFd int64, fr *pcache.Frame) error {
+func (fs *FS) writeBackFrameOn(lane *gsys.Client, clk *simtime.Clock, hostFd int64, fr *pcache.Frame) error {
 	// Clear the dirty flag BEFORE snapshotting: a write racing with this
 	// sync either lands in the snapshot (shipped now, re-flagged
 	// harmlessly) or re-dirties the page for the next sync. Either way
@@ -77,7 +77,7 @@ func (fs *FS) refreshGeneration(b *gpu.Block, fc *fileCache, hostFd int64) {
 	fs.refreshGenerationOn(fs.lane(b), b.Clock, fc, hostFd)
 }
 
-func (fs *FS) refreshGenerationOn(lane *rpc.Client, clk *simtime.Clock, fc *fileCache, hostFd int64) {
+func (fs *FS) refreshGenerationOn(lane *gsys.Client, clk *simtime.Clock, fc *fileCache, hostFd int64) {
 	info, err := lane.Stat(clk, hostFd)
 	if err != nil {
 		return // stale generation only costs an extra invalidation

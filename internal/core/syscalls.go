@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"gpufs/internal/gpu"
+	"gpufs/internal/gsys"
+	"gpufs/internal/hostfs"
+	"gpufs/internal/simtime"
+	"gpufs/internal/trace"
+)
+
+// The generic syscall surface of ISSUE 7, layered on the gsys dispatcher:
+// open-ahead (relaxed pipelined gopen), greaddir (paginated directory
+// enumeration), gpread_warp (warp-granularity coalesced positioned reads),
+// and the gpipe family (bounded kernel-to-kernel pipes brokered by the
+// host daemon).
+
+// --- Open-ahead -------------------------------------------------------
+
+// OpenFuture is the join handle of an OpenAhead. Exactly one Wait is
+// required: the eager path holds the opened file's reference until Wait
+// transfers it to the caller.
+type OpenFuture struct {
+	fs    *FS
+	path  string
+	flags int
+	start simtime.Time
+
+	// eager marks a successfully issued relaxed open; fd and fut are
+	// valid. Otherwise Wait performs a normal strong Open.
+	eager bool
+	fd    int
+	fut   *gsys.Future
+}
+
+// OpenAhead issues gopen ahead of need: for a cold read-only open it
+// dispatches the host open as a relaxed non-blocking syscall — the block's
+// clock does not wait for the round trip, which Wait joins later — so a
+// kernel can pipeline the opens of its next few inputs behind the current
+// file's reads. Files already known to this GPU (open or in the closed
+// file table), non-read-only flags, and relaxed-issue failures all fall
+// back to a plain strong Open at Wait time, preserving the file API's
+// semantics exactly.
+func (fs *FS) OpenAhead(b *gpu.Block, path string, flags int) *OpenFuture {
+	of := &OpenFuture{fs: fs, path: path, flags: flags, start: b.Clock.Now()}
+	if flags != O_RDONLY {
+		return of
+	}
+	fs.mu.Lock()
+	if _, ok := fs.byPath[path]; ok {
+		fs.mu.Unlock()
+		return of
+	}
+	if _, ok := fs.closedByPath[path]; ok {
+		fs.mu.Unlock()
+		return of
+	}
+	// Cold open: insert the pending open-table entry (so concurrent
+	// gopens coalesce onto this open, exactly as with a strong opener)
+	// and issue the host open past the fence.
+	f := &file{
+		path:     path,
+		flags:    flags,
+		readable: true,
+		refs:     1,
+		ready:    make(chan struct{}),
+	}
+	fd := fs.allocFdLocked(f)
+	fs.byPath[path] = fd
+	fs.mu.Unlock()
+
+	fs.opens.Add(1)
+	b.Busy(fs.opt.APICostPerPage) // control-plane bookkeeping, as in gopen
+
+	fut := fs.lane(b).OpenRelaxed(b.Clock, path, flags&hostFlagMask, hostfs.ModeRead|hostfs.ModeWrite)
+	if fut.Err() != nil {
+		// Relaxed issues are never retried: retract the pending entry and
+		// let Wait run the strong (retrying) open path instead.
+		fs.mu.Lock()
+		fs.fds[fd] = nil
+		delete(fs.byPath, path)
+		f.err = fut.Err()
+		fs.mu.Unlock()
+		close(f.ready)
+		return of
+	}
+	fs.hostOpens.Add(1)
+	reply := fut.Reply()
+	info := reply.Info
+
+	// A cached copy of the same inode under another name (the
+	// closedByPath probe above is by pathname) is lazily invalidated, as
+	// hostOpen does for stale caches.
+	fs.mu.Lock()
+	fc, cached := fs.closed[info.Ino]
+	if cached {
+		delete(fs.closed, info.Ino)
+		delete(fs.closedByPath, fc.path)
+	}
+	fs.mu.Unlock()
+	if cached {
+		fs.discardCache(b, fc)
+	}
+
+	f.fc = fs.newFileCache(path, info.Ino, info.Generation, info.Size)
+	f.hostFd = reply.FD
+	fs.client.RecordCached(info.Ino, info.Generation)
+	close(f.ready)
+
+	of.eager, of.fd, of.fut = true, fd, fut
+	return of
+}
+
+// Wait joins the open: the block's clock advances to the host open's
+// virtual completion and the descriptor is returned, its reference now
+// owned by the caller (gclose releases it). Fallback futures perform a
+// normal strong Open here.
+func (of *OpenFuture) Wait(b *gpu.Block) (int, error) {
+	if !of.eager {
+		return of.fs.Open(b, of.path, of.flags)
+	}
+	of.fut.Wait(b.Clock)
+	of.fs.record(b, trace.OpOpen, of.path, 0, 0, of.start, nil)
+	return of.fd, nil
+}
+
+// --- greaddir ---------------------------------------------------------
+
+// Dirent is one directory entry as enumerated by Readdir.
+type Dirent struct {
+	Name  string
+	Ino   int64
+	Size  int64
+	IsDir bool
+}
+
+// readdirImpl enumerates one page of host directory entries.
+func (fs *FS) readdirImpl(b *gpu.Block, path string, cookie int64, max int) ([]Dirent, int64, error) {
+	if max <= 0 {
+		return nil, 0, fmt.Errorf("%w: non-positive readdir page size %d", ErrInvalid, max)
+	}
+	b.Busy(fs.opt.APICostPerPage)
+	infos, next, err := fs.lane(b).Readdir(b.Clock, path, cookie, max)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]Dirent, len(infos))
+	for i, fi := range infos {
+		out[i] = Dirent{Name: fi.Name, Ino: fi.Ino, Size: fi.Size, IsDir: fi.IsDir}
+	}
+	return out, next, nil
+}
+
+// --- gpread_warp ------------------------------------------------------
+
+// WarpReq is one thread's positioned read within a gpread_warp call.
+type WarpReq struct {
+	Dst []byte
+	Off int64
+}
+
+// warpContiguous reports whether the warp's requests form one ascending
+// contiguous span, the pattern the coalescer turns into a single
+// descriptor.
+func warpContiguous(warp []WarpReq) bool {
+	for i, r := range warp {
+		if len(r.Dst) == 0 || r.Off < 0 {
+			return false
+		}
+		if i > 0 && r.Off != warp[i-1].Off+int64(len(warp[i-1].Dst)) {
+			return false
+		}
+	}
+	return true
+}
+
+// readWarpImpl services one positioned read per thread, coalescing each
+// warp whose requests form a contiguous ascending span into ONE syscall
+// descriptor: the span's pages beyond the first ride a single vectored
+// relaxed RPC (stamped warp-granularity on the wire) issued before the
+// copy loop, so the whole warp pays one descriptor's API cost instead of
+// one per thread. Warps with gaps, overlaps, or descending offsets fall
+// back to per-thread gread semantics. Returns the total bytes read.
+func (fs *FS) readWarpImpl(b *gpu.Block, fd int, reqs []WarpReq) (int64, error) {
+	fs.warpReadCalls.Add(1)
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	f, err := fs.lookupFd(fd)
+	if err != nil {
+		return 0, err
+	}
+	if !f.readable {
+		return 0, fmt.Errorf("%w: %q", ErrWriteOnly, f.path)
+	}
+
+	ws := b.Device().WarpSize()
+	var total int64
+	for wstart := 0; wstart < len(reqs); wstart += ws {
+		wend := wstart + ws
+		if wend > len(reqs) {
+			wend = len(reqs)
+		}
+		warp := reqs[wstart:wend]
+		if warpContiguous(warp) {
+			fs.warpCoalesced.Add(1)
+			fs.warpDescriptors.Add(1)
+			n, err := fs.warpSpanRead(b, f, warp)
+			total += n
+			if err != nil {
+				return total, err
+			}
+			continue
+		}
+		// Divergent warp: per-thread fallback, one descriptor each.
+		for _, r := range warp {
+			fs.warpDescriptors.Add(1)
+			n, err := fs.readImpl(b, fd, r.Dst, r.Off)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// warpSpanRead reads one coalesced warp span, scattering the bytes into
+// the per-thread destination buffers.
+func (fs *FS) warpSpanRead(b *gpu.Block, f *file, warp []WarpReq) (int64, error) {
+	off := warp[0].Off
+	var want int64
+	for _, r := range warp {
+		want += int64(len(r.Dst))
+	}
+	size := f.fc.size.Load()
+	if off >= size {
+		return 0, nil
+	}
+	if off+want > size {
+		want = size - off
+	}
+	ps := fs.opt.PageSize
+	firstPage := off / ps
+	lastPage := (off + want - 1) / ps
+
+	// One descriptor per warp: its bookkeeping is paid once here, and the
+	// span's later pages ride one vectored relaxed RPC (budget permitting)
+	// so the daemon pipelines the file reads while the warp copies the
+	// first page.
+	b.Busy(fs.opt.APICostPerPage)
+	if lastPage > firstPage && !f.writeOnce {
+		n := lastPage - firstPage
+		if budget := int64(fs.fetchBudget()); n > budget {
+			n = budget
+		}
+		if n > 0 {
+			fs.spanFetch(b, f, firstPage+1, n, false, fs.lane(b).Gran(gsys.GranWarp))
+		}
+	}
+
+	var done int64
+	ri, rOff := 0, 0 // scatter cursor: position within warp[ri].Dst
+	for done < want {
+		cur := off + done
+		pageIdx := cur / ps
+		inPage := cur - pageIdx*ps
+		n := ps - inPage
+		if n > want-done {
+			n = want - done
+		}
+		ref, err := fs.getPage(b, f, pageIdx)
+		if err != nil {
+			return done, err
+		}
+		ref.fr.Lock()
+		for copied := int64(0); copied < n; {
+			for rOff >= len(warp[ri].Dst) {
+				ri++
+				rOff = 0
+			}
+			c := int64(len(warp[ri].Dst) - rOff)
+			if c > n-copied {
+				c = n - copied
+			}
+			b.CopyBytes(warp[ri].Dst[rOff:rOff+int(c)],
+				ref.fr.Data[inPage+copied:inPage+copied+c])
+			rOff += int(c)
+			copied += c
+		}
+		ref.fr.Unlock()
+		ref.release()
+		done += n
+	}
+	return done, nil
+}
+
+// WarpStats reports gpread_warp activity: calls, warps coalesced into one
+// descriptor, and total descriptors issued (coalesced warps count one;
+// divergent warps one per thread).
+func (fs *FS) WarpStats() (calls, coalesced, descriptors int64) {
+	return fs.warpReadCalls.Load(), fs.warpCoalesced.Load(), fs.warpDescriptors.Load()
+}
+
+// --- gpipe ------------------------------------------------------------
+
+// Pipe ends, re-exported from the syscall layer.
+const (
+	PipeReader = gsys.PipeReader
+	PipeWriter = gsys.PipeWriter
+)
+
+// PipeMode selects the end of a pipe.
+type PipeMode = gsys.PipeMode
+
+// pipeName resolves a pipe handle's name for tracing, best-effort.
+func (fs *FS) pipeName(pd int64) string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.pipeNames[pd]
+}
+
+func (fs *FS) pipeOpenImpl(b *gpu.Block, name string, mode PipeMode, capBytes, writers int) (int64, error) {
+	b.Busy(fs.opt.APICostPerPage)
+	pd, err := fs.lane(b).PipeOpen(b.Clock, name, mode, capBytes, writers)
+	if err != nil {
+		return -1, err
+	}
+	fs.mu.Lock()
+	if fs.pipeNames == nil {
+		fs.pipeNames = make(map[int64]string)
+	}
+	fs.pipeNames[pd] = name
+	fs.mu.Unlock()
+	return pd, nil
+}
+
+func (fs *FS) pipeWriteImpl(b *gpu.Block, pd int64, data []byte) (int, error) {
+	b.Busy(fs.opt.APICostPerPage)
+	return fs.lane(b).PipeWrite(b.Clock, pd, data)
+}
+
+func (fs *FS) pipeReadImpl(b *gpu.Block, pd int64, dst []byte) (int, error) {
+	b.Busy(fs.opt.APICostPerPage)
+	return fs.lane(b).PipeRead(b.Clock, pd, dst)
+}
+
+func (fs *FS) pipeCloseImpl(b *gpu.Block, pd int64, mode PipeMode) error {
+	b.Busy(fs.opt.APICostPerPage)
+	return fs.lane(b).PipeClose(b.Clock, pd, mode)
+}
+
+// --- The public tracing wrappers --------------------------------------
+
+// Readdir implements greaddir: one page of directory entries of path
+// starting at cookie (0 first), at most max entries, with the next cookie
+// (-1 once the enumeration is complete).
+func (fs *FS) Readdir(b *gpu.Block, path string, cookie int64, max int) ([]Dirent, int64, error) {
+	start := b.Clock.Now()
+	ents, next, err := fs.readdirImpl(b, path, cookie, max)
+	fs.record(b, trace.OpReaddir, path, cookie, int64(len(ents)), start, err)
+	return ents, next, err
+}
+
+// ReadWarp implements gpread_warp; see readWarpImpl for semantics.
+func (fs *FS) ReadWarp(b *gpu.Block, fd int, reqs []WarpReq) (int64, error) {
+	start := b.Clock.Now()
+	n, err := fs.readWarpImpl(b, fd, reqs)
+	var off int64
+	if len(reqs) > 0 {
+		off = reqs[0].Off
+	}
+	fs.record(b, trace.OpReadWarp, fs.pathOf(fd), off, n, start, err)
+	return n, err
+}
+
+// PipeOpen implements gpipe_open; every opener of a named pipe declares
+// the same capacity and writer count.
+func (fs *FS) PipeOpen(b *gpu.Block, name string, mode PipeMode, capBytes, writers int) (int64, error) {
+	start := b.Clock.Now()
+	pd, err := fs.pipeOpenImpl(b, name, mode, capBytes, writers)
+	fs.record(b, trace.OpPipeOpen, name, 0, 0, start, err)
+	return pd, err
+}
+
+// PipeWrite implements gpipe_write: data is one atomic record, and the
+// call blocks on virtual time while the pipe lacks room for all of it.
+func (fs *FS) PipeWrite(b *gpu.Block, pd int64, data []byte) (int, error) {
+	start := b.Clock.Now()
+	n, err := fs.pipeWriteImpl(b, pd, data)
+	fs.record(b, trace.OpPipeWrite, fs.pipeName(pd), 0, int64(n), start, err)
+	return n, err
+}
+
+// PipeRead implements gpipe_read: up to len(dst) buffered bytes, blocking
+// on virtual time while the pipe is empty with live writers; io.EOF once
+// the declared writers have closed and the buffer drained.
+func (fs *FS) PipeRead(b *gpu.Block, pd int64, dst []byte) (int, error) {
+	start := b.Clock.Now()
+	n, err := fs.pipeReadImpl(b, pd, dst)
+	terr := err
+	if terr == io.EOF {
+		terr = nil // end of stream is an outcome, not a trace-worthy error
+	}
+	fs.record(b, trace.OpPipeRead, fs.pipeName(pd), 0, int64(n), start, terr)
+	return n, err
+}
+
+// PipeClose implements gpipe_close for one end of the pipe.
+func (fs *FS) PipeClose(b *gpu.Block, pd int64, mode PipeMode) error {
+	start := b.Clock.Now()
+	err := fs.pipeCloseImpl(b, pd, mode)
+	fs.record(b, trace.OpPipeClose, fs.pipeName(pd), 0, 0, start, err)
+	return err
+}

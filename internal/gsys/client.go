@@ -1,0 +1,509 @@
+package gsys
+
+import (
+	"errors"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"gpufs/internal/hostfs"
+	"gpufs/internal/metrics"
+	"gpufs/internal/rpc"
+	"gpufs/internal/simtime"
+)
+
+// The GPU side of the syscall subsystem: the dispatcher. Every call is
+// framed (descriptor + scalars + path + inline payload), encoded to the
+// wire form, and submitted on the issuing lane's ring shard; the daemon
+// decodes the frame and dispatches through the syscall table.
+//
+// Ordering classes route differently:
+//
+//   - OrderStrong calls go through the per-lane FIFO fence: each strong
+//     call on a lane is ordered after the previous strong call's
+//     completion. For the block-collective API the fence is structurally
+//     satisfied — a blocking call already holds its lane's clock until
+//     completion, so the fence never stalls and the strong path's virtual
+//     timing is bit-identical to the pre-gsys protocol. A lane clock that
+//     jumps backwards (a harness timing reset) restarts the fence.
+//   - OrderRelaxed calls bypass the fence and ride the out-of-order
+//     completion queue: the block's clock is untouched, results are
+//     available through a Future, and the caller joins explicitly with
+//     Future.Wait or Client.Fence. Detached speculation (prefetch) is
+//     relaxed traffic that is intentionally never joined.
+
+// rpcOp maps a syscall to the ring-transport op it rides, keeping the
+// daemon's per-op accounting identical for the subsumed file operations
+// (SysRead and SysReadVec are both "read" transactions, as before).
+func rpcOp(s Sysno) rpc.Op {
+	switch s {
+	case SysOpen:
+		return rpc.OpOpen
+	case SysClose:
+		return rpc.OpClose
+	case SysRead, SysReadVec:
+		return rpc.OpReadPages
+	case SysWrite:
+		return rpc.OpWritePages
+	case SysTruncate:
+		return rpc.OpTruncate
+	case SysUnlink:
+		return rpc.OpUnlink
+	case SysStat:
+		return rpc.OpStat
+	case SysFsync:
+		return rpc.OpFsync
+	case SysValidate:
+		return rpc.OpValidate
+	case SysReaddir:
+		return rpc.OpReaddir
+	case SysPipeOpen:
+		return rpc.OpPipeOpen
+	case SysPipeRead:
+		return rpc.OpPipeRead
+	case SysPipeWrite:
+		return rpc.OpPipeWrite
+	case SysPipeClose:
+		return rpc.OpPipeClose
+	}
+	panic("gsys: no transport op for " + s.String())
+}
+
+// laneState is the dispatcher's per-lane ordering state.
+type laneState struct {
+	// fence is the completion time of the lane's last strong call; the
+	// next strong call is ordered after it.
+	fence simtime.Time
+	// pending are the lane's un-joined relaxed futures.
+	pending []*Future
+}
+
+// clientRoot is the state shared by every Bind/Gran view of one GPU's
+// syscall client.
+type clientRoot struct {
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	lanes map[int]*laneState
+
+	// latency holds per-op per-ordering-class issue-to-completion
+	// histograms; the array stays nil without a metrics registry.
+	latency [numSysno][numOrdering]*metrics.Histogram
+	strong  atomic.Int64
+	relaxed atomic.Int64
+}
+
+// Future is the join handle of a relaxed call. The handler has already
+// run when the Future is returned — results are available immediately in
+// real time — but the call completes at Done() in virtual time, and Wait
+// advances the joining block's clock there.
+type Future struct {
+	call *call
+	done simtime.Time
+	err  error
+}
+
+// Done reports the call's virtual completion time.
+func (f *Future) Done() simtime.Time { return f.done }
+
+// Err reports the call's error without joining.
+func (f *Future) Err() error { return f.err }
+
+// Reply exposes the call's typed results; valid once issued (relaxed
+// handlers run inline in real time).
+func (f *Future) Reply() *Reply { return &f.call.reply }
+
+// Wait joins the call: the block's clock advances to the completion time
+// and the call's error is returned.
+func (f *Future) Wait(blk *simtime.Clock) error {
+	if f.err == nil && blk.Now() < f.done {
+		blk.AdvanceTo(f.done)
+	}
+	return f.err
+}
+
+// Client is one GPU's syscall endpoint: a thin dispatcher over the GPU's
+// rpc ring transport. Like rpc.Client, Bind (and Gran) derive cheap
+// views; views share the root's sequence space and lane table.
+type Client struct {
+	svc  *Service
+	rpc  *rpc.Client
+	root *clientRoot
+	gran Granularity
+	lane int
+}
+
+// NewClient creates the syscall endpoint for one GPU over its rpc
+// endpoint.
+func NewClient(svc *Service, rc *rpc.Client) *Client {
+	c := &Client{svc: svc, rpc: rc, root: &clientRoot{lanes: make(map[int]*laneState)}, gran: GranBlock}
+	if reg := svc.srv.Metrics(); reg != nil {
+		gpu := strconv.Itoa(rc.GPUID())
+		reg.SetHelp(sysLatencyMetric,
+			"Virtual issue-to-completion syscall latency per op and ordering class")
+		for sys := Sysno(0); sys < numSysno; sys++ {
+			for ord := Ordering(0); ord < numOrdering; ord++ {
+				c.root.latency[sys][ord] = reg.DurationHistogram(sysLatencyMetric,
+					"gpu", gpu, "op", sys.String(), "ordering", ord.String())
+			}
+		}
+	}
+	return c
+}
+
+const sysLatencyMetric = "gpufs_sys_latency_seconds"
+
+// Bind returns a view of the client whose calls ride the ring shard that
+// lane hashes to, with per-lane ordering state.
+func (c *Client) Bind(lane int) *Client {
+	view := *c
+	view.lane = lane
+	view.rpc = c.rpc.Bind(lane)
+	return &view
+}
+
+// Gran returns a view whose descriptors carry the given issue
+// granularity.
+func (c *Client) Gran(g Granularity) *Client {
+	if g == c.gran {
+		return c
+	}
+	view := *c
+	view.gran = g
+	return &view
+}
+
+// RPC returns the underlying transport endpoint of this view.
+func (c *Client) RPC() *rpc.Client { return c.rpc }
+
+// Service returns the host syscall service.
+func (c *Client) Service() *Service { return c.svc }
+
+// StrongCalls and RelaxedCalls report how many calls each ordering class
+// has dispatched on this GPU.
+func (c *Client) StrongCalls() int64  { return c.root.strong.Load() }
+func (c *Client) RelaxedCalls() int64 { return c.root.relaxed.Load() }
+
+func (c *Client) laneState() *laneState {
+	c.root.mu.Lock()
+	st := c.root.lanes[c.lane]
+	if st == nil {
+		st = &laneState{}
+		c.root.lanes[c.lane] = st
+	}
+	c.root.mu.Unlock()
+	return st
+}
+
+func (c *Client) observe(sys Sysno, ord Ordering, start, end simtime.Time) {
+	if h := c.root.latency[sys][ord]; h != nil {
+		h.ObserveSpan(start, end)
+	}
+}
+
+// frame builds and encodes the wire frame of one call.
+func (c *Client) frame(d Desc, args []uint64, path string, data []byte) []byte {
+	return (&Frame{
+		Desc: d, Lane: int32(c.lane), Seq: c.root.seq.Add(1),
+		Args: args, Path: path, Data: data,
+	}).Encode()
+}
+
+// handlerFor wraps a call for the ring transport: the daemon side decodes
+// the wire frame (a retry decodes again — the frame is immutable) and
+// dispatches through the syscall table.
+func (c *Client) handlerFor(wire []byte, cl *call) rpc.Handler {
+	return func(cclk *simtime.Clock) (simtime.Time, error) {
+		fr, err := DecodeFrame(wire)
+		if err != nil {
+			return 0, err
+		}
+		cl.fr = fr
+		return c.svc.dispatch(cl, cclk)
+	}
+}
+
+// do dispatches one strong-ordered blocking call through the lane fence.
+func (c *Client) do(blk *simtime.Clock, sys Sysno, args []uint64, path string, data []byte, cl *call) error {
+	cl.cli = c
+	d := Desc{Sysno: sys, Gran: c.gran, Order: OrderStrong, Block: CallBlocking}
+	wire := c.frame(d, args, path, data)
+	st := c.laneState()
+	c.root.mu.Lock()
+	if blk.Now() < st.fence {
+		// The lane's clock restarted (timing reset between runs): a new
+		// ordering epoch. Within one epoch a strong call is issued from
+		// the lane's own clock, which the previous strong call already
+		// advanced past the fence, so the fence never stalls the lane.
+		st.fence = 0
+	}
+	c.root.mu.Unlock()
+	c.root.strong.Add(1)
+	sent := blk.Now()
+	err := c.rpc.Do(blk, rpcOp(sys), c.handlerFor(wire, cl))
+	c.root.mu.Lock()
+	if blk.Now() > st.fence {
+		st.fence = blk.Now()
+	}
+	c.root.mu.Unlock()
+	c.observe(sys, OrderStrong, sent, blk.Now())
+	return err
+}
+
+// doRelaxed dispatches one relaxed non-blocking call past the fence: the
+// block's clock is untouched and the returned Future joins it. Detached
+// calls (speculation with no waiter) skip the lane's pending set.
+func (c *Client) doRelaxed(blk *simtime.Clock, sys Sysno, args []uint64, path string, data []byte, cl *call, detached bool) *Future {
+	cl.cli = c
+	d := Desc{Sysno: sys, Gran: c.gran, Order: OrderRelaxed, Block: CallNonBlocking}
+	wire := c.frame(d, args, path, data)
+	c.root.relaxed.Add(1)
+	sent := blk.Now()
+	done, err := c.rpc.DoAsync(blk, rpcOp(sys), c.handlerFor(wire, cl))
+	fut := &Future{call: cl, done: done, err: err}
+	if err == nil {
+		c.observe(sys, OrderRelaxed, sent, done)
+	}
+	if !detached {
+		st := c.laneState()
+		c.root.mu.Lock()
+		st.pending = append(st.pending, fut)
+		c.root.mu.Unlock()
+	}
+	return fut
+}
+
+// Fence joins every un-joined relaxed call on this view's lane: the
+// block's clock advances past all their completions. The first error is
+// returned (all futures are still drained).
+func (c *Client) Fence(blk *simtime.Clock) error {
+	st := c.laneState()
+	c.root.mu.Lock()
+	pending := st.pending
+	st.pending = nil
+	c.root.mu.Unlock()
+	var firstErr error
+	for _, f := range pending {
+		if err := f.Wait(blk); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// --- The file syscalls (subsuming the rpc protocol layer's typed ops) ---
+
+// Open opens the host file, returning a daemon descriptor handle and the
+// file's metadata.
+func (c *Client) Open(blk *simtime.Clock, path string, flags int, mode hostfs.Mode) (int64, hostfs.FileInfo, error) {
+	cl := &call{}
+	if err := c.do(blk, SysOpen, []uint64{uint64(flags), uint64(mode)}, path, nil, cl); err != nil {
+		return -1, hostfs.FileInfo{}, err
+	}
+	return cl.reply.FD, cl.reply.Info, nil
+}
+
+// OpenRelaxed is the relaxed non-blocking open behind open-ahead: the
+// handler runs immediately in real time (the handle and metadata are
+// valid on return) while the block's clock is untouched; the returned
+// Future completes at the open's virtual completion. Never retried; on a
+// transient fault the caller falls back to a strong Open.
+func (c *Client) OpenRelaxed(blk *simtime.Clock, path string, flags int, mode hostfs.Mode) *Future {
+	cl := &call{}
+	return c.doRelaxed(blk, SysOpen, []uint64{uint64(flags), uint64(mode)}, path, nil, cl, true)
+}
+
+// Close closes a daemon descriptor handle.
+func (c *Client) Close(blk *simtime.Clock, fd int64) error {
+	return c.do(blk, SysClose, []uint64{uint64(fd)}, "", nil, &call{})
+}
+
+// ReadPages reads len(dst) bytes from the host file at off and DMAs them
+// into the device memory slice dst.
+func (c *Client) ReadPages(blk *simtime.Clock, fd, off int64, dst []byte) (int, error) {
+	cl := &call{dst: dst}
+	if err := c.do(blk, SysRead, []uint64{uint64(fd), uint64(off)}, "", nil, cl); err != nil {
+		return 0, err
+	}
+	return cl.reply.N, nil
+}
+
+// ReadPagesRelaxed is ReadPages as a joinable relaxed call: issued past
+// the fence, joined via the Future (or a lane Fence).
+func (c *Client) ReadPagesRelaxed(blk *simtime.Clock, fd, off int64, dst []byte) *Future {
+	cl := &call{dst: dst}
+	return c.doRelaxed(blk, SysRead, []uint64{uint64(fd), uint64(off)}, "", nil, cl, false)
+}
+
+// ReadPagesAsync is detached relaxed speculation (prefetch): the block
+// does not wait and nobody joins; the returned time says when the page
+// becomes usable. Never retried.
+func (c *Client) ReadPagesAsync(blk *simtime.Clock, fd, off int64, dst []byte) (int, simtime.Time, error) {
+	cl := &call{dst: dst}
+	fut := c.doRelaxed(blk, SysRead, []uint64{uint64(fd), uint64(off)}, "", nil, cl, true)
+	if fut.err != nil {
+		return 0, 0, fut.err
+	}
+	return cl.reply.N, fut.done, nil
+}
+
+// ReadPagesVecAsync is detached relaxed speculation over several
+// CONTIGUOUS pages: one ring transaction, one host read, one scattered
+// DMA whose completion every page shares.
+func (c *Client) ReadPagesVecAsync(blk *simtime.Clock, fd, off int64, dsts [][]byte) ([]int, simtime.Time, error) {
+	cl := &call{dsts: dsts}
+	fut := c.doRelaxed(blk, SysReadVec, []uint64{uint64(fd), uint64(off)}, "", nil, cl, true)
+	if fut.err != nil {
+		return nil, 0, fut.err
+	}
+	return cl.reply.Ns, fut.done, nil
+}
+
+// WritePages DMAs len(src) bytes out of device memory and writes them to
+// the host file at off.
+func (c *Client) WritePages(blk *simtime.Clock, fd, off int64, src []byte) (int, error) {
+	cl := &call{src: src}
+	if err := c.do(blk, SysWrite, []uint64{uint64(fd), uint64(off)}, "", nil, cl); err != nil {
+		return 0, err
+	}
+	return cl.reply.N, nil
+}
+
+// Truncate truncates the host file behind fd.
+func (c *Client) Truncate(blk *simtime.Clock, fd, size int64) error {
+	return c.do(blk, SysTruncate, []uint64{uint64(fd), uint64(size)}, "", nil, &call{})
+}
+
+// Unlink removes the file at path on the host.
+func (c *Client) Unlink(blk *simtime.Clock, path string) error {
+	return c.do(blk, SysUnlink, nil, path, nil, &call{})
+}
+
+// Stat returns host metadata for fd.
+func (c *Client) Stat(blk *simtime.Clock, fd int64) (hostfs.FileInfo, error) {
+	cl := &call{}
+	if err := c.do(blk, SysStat, []uint64{uint64(fd)}, "", nil, cl); err != nil {
+		return hostfs.FileInfo{}, err
+	}
+	return cl.reply.Info, nil
+}
+
+// Fsync forces the host file to stable storage.
+func (c *Client) Fsync(blk *simtime.Clock, fd int64) error {
+	return c.do(blk, SysFsync, []uint64{uint64(fd)}, "", nil, &call{})
+}
+
+// Validate asks the consistency layer whether the GPU's cached copy of
+// ino at generation gen is still current. A call that fails (retry budget
+// exhausted under faults) reports "not valid" — the conservative answer.
+func (c *Client) Validate(blk *simtime.Clock, ino, gen int64) bool {
+	cl := &call{}
+	err := c.do(blk, SysValidate, []uint64{uint64(ino), uint64(gen)}, "", nil, cl)
+	return err == nil && cl.reply.Valid
+}
+
+// The consistency-metadata operations below are not ring syscalls (they
+// ride write-shared memory or piggyback on other traffic, as in the rpc
+// layer) and delegate unchanged.
+
+// PeekValid checks a cached generation through write-shared memory — a
+// single PCIe read, no daemon involvement.
+func (c *Client) PeekValid(blk *simtime.Clock, ino, gen int64) bool {
+	return c.rpc.PeekValid(blk, ino, gen)
+}
+
+// RecordCached registers this GPU as caching ino at generation gen.
+func (c *Client) RecordCached(ino, gen int64) { c.rpc.RecordCached(ino, gen) }
+
+// Forget drops the consistency layer's record of this GPU caching ino.
+func (c *Client) Forget(ino int64) { c.rpc.Forget(ino) }
+
+// BeginWrite registers this GPU as a writer of ino.
+func (c *Client) BeginWrite(ino int64, multiWriter bool) error {
+	return c.rpc.BeginWrite(ino, multiWriter)
+}
+
+// EndWrite releases the writer registration.
+func (c *Client) EndWrite(ino int64) { c.rpc.EndWrite(ino) }
+
+// --- The new syscall surface ---
+
+// Readdir enumerates one page of directory entries starting at cookie
+// (0 for the first call), returning up to max entries and the next
+// cookie (-1 when the enumeration is complete).
+func (c *Client) Readdir(blk *simtime.Clock, path string, cookie int64, max int) ([]hostfs.FileInfo, int64, error) {
+	cl := &call{}
+	if err := c.do(blk, SysReaddir, []uint64{uint64(cookie), uint64(max)}, path, nil, cl); err != nil {
+		return nil, 0, err
+	}
+	return cl.reply.Dirents, cl.reply.Next, nil
+}
+
+// PipeOpen opens (creating on first open) the named pipe with the given
+// buffer capacity and declared writer count, returning its handle. Every
+// opener must declare the same capacity and writer count.
+func (c *Client) PipeOpen(blk *simtime.Clock, name string, mode PipeMode, capBytes, writers int) (int64, error) {
+	cl := &call{}
+	err := c.do(blk, SysPipeOpen, []uint64{uint64(mode), uint64(capBytes), uint64(writers)}, name, nil, cl)
+	if err != nil {
+		return -1, err
+	}
+	return cl.reply.FD, nil
+}
+
+// PipeWrite writes data as one atomic record, blocking (on virtual time)
+// while the pipe lacks room for the whole record.
+func (c *Client) PipeWrite(blk *simtime.Clock, pd int64, data []byte) (int, error) {
+	for {
+		cl := &call{}
+		err := c.do(blk, SysPipeWrite, []uint64{uint64(pd)}, "", data, cl)
+		if err == nil {
+			return cl.reply.N, nil
+		}
+		if !errors.Is(err, ErrPipeFull) {
+			return 0, err
+		}
+		// Would block: wait in real time for space, advance to the
+		// virtual time it freed, and poll again with a fresh request.
+		p, perr := c.svc.pipes.get(pd)
+		if perr != nil {
+			return 0, perr
+		}
+		if wakeAt := p.waitWritable(len(data)); blk.Now() < wakeAt {
+			blk.AdvanceTo(wakeAt)
+		}
+	}
+}
+
+// PipeRead reads up to len(dst) buffered bytes, blocking (on virtual
+// time) while the pipe is empty with live writers. At end of stream —
+// declared writers all closed, buffer drained — it returns io.EOF.
+func (c *Client) PipeRead(blk *simtime.Clock, pd int64, dst []byte) (int, error) {
+	for {
+		cl := &call{dst: dst}
+		err := c.do(blk, SysPipeRead, []uint64{uint64(pd)}, "", nil, cl)
+		if err == nil {
+			if cl.reply.EOF {
+				return 0, io.EOF
+			}
+			return cl.reply.N, nil
+		}
+		if !errors.Is(err, ErrPipeEmpty) {
+			return 0, err
+		}
+		p, perr := c.svc.pipes.get(pd)
+		if perr != nil {
+			return 0, perr
+		}
+		if wakeAt := p.waitReadable(); blk.Now() < wakeAt {
+			blk.AdvanceTo(wakeAt)
+		}
+	}
+}
+
+// PipeClose closes one end of the pipe. Closing the last declared writer
+// end releases readers into EOF once the buffer drains.
+func (c *Client) PipeClose(blk *simtime.Clock, pd int64, mode PipeMode) error {
+	return c.do(blk, SysPipeClose, []uint64{uint64(pd), uint64(mode)}, "", nil, &call{})
+}

@@ -1,0 +1,217 @@
+// Package gsys is the generic GPU system-call subsystem (ROADMAP item 3,
+// after "GPU System Calls", Veselý et al.). It generalizes the file-only
+// RPC protocol of internal/rpc into an arbitrary syscall surface: every
+// call carries a typed descriptor — operation, issue granularity (thread,
+// warp, or block), ordering class (strong or relaxed), and blocking mode —
+// and is framed into a wire format before a host-side handler registered
+// in a syscall table executes it on a daemon worker's clock.
+//
+// The split of responsibilities with internal/rpc is deliberate: rpc keeps
+// the transport (sharded rings, retry/timeout/dedup, completion queue) and
+// the timing model; gsys owns the call semantics. Strong-ordered calls are
+// routed through a per-lane FIFO fence — each strong call on a lane is
+// ordered after the previous strong call's completion — while relaxed
+// calls ride the out-of-order completion queue unfenced and are joined
+// explicitly (Future.Wait or Client.Fence). The strong-ordered path is
+// bit-identical in virtual time to the pre-gsys protocol: the fence is
+// structurally idle for the collective block-granularity API (a blocking
+// call already occupies its lane until completion), so strong ordering
+// costs nothing, and relaxation is where the new semantics show up.
+package gsys
+
+import "fmt"
+
+// Sysno identifies a system call in the generic syscall table.
+type Sysno uint8
+
+// System calls. The first ten subsume the file operations the rpc
+// protocol layer exposed; the rest are new surface (ISSUE 7).
+const (
+	SysOpen Sysno = iota
+	SysClose
+	SysRead
+	SysReadVec
+	SysWrite
+	SysTruncate
+	SysUnlink
+	SysStat
+	SysFsync
+	SysValidate
+	SysReaddir
+	SysPipeOpen
+	SysPipeRead
+	SysPipeWrite
+	SysPipeClose
+	numSysno
+)
+
+// knownSysno is the compile-time drift guard companion of numSysno:
+// adding a Sysno without extending String() (and this constant) fails the
+// array-length assignment below instead of rendering as "sys(15)" at
+// runtime.
+const knownSysno = 15
+
+var _ [knownSysno]struct{} = [numSysno]struct{}{}
+
+// String names the system call. The switch is exhaustive over the enum;
+// the drift guard above forces an update when a Sysno is added.
+func (s Sysno) String() string {
+	switch s {
+	case SysOpen:
+		return "gopen"
+	case SysClose:
+		return "gclose"
+	case SysRead:
+		return "gread"
+	case SysReadVec:
+		return "gread_vec"
+	case SysWrite:
+		return "gwrite"
+	case SysTruncate:
+		return "gtruncate"
+	case SysUnlink:
+		return "gunlink"
+	case SysStat:
+		return "gstat"
+	case SysFsync:
+		return "gfsync"
+	case SysValidate:
+		return "gvalidate"
+	case SysReaddir:
+		return "greaddir"
+	case SysPipeOpen:
+		return "gpipe_open"
+	case SysPipeRead:
+		return "gpipe_read"
+	case SysPipeWrite:
+		return "gpipe_write"
+	case SysPipeClose:
+		return "gpipe_close"
+	}
+	return fmt.Sprintf("sys(%d)", uint8(s))
+}
+
+// Granularity is the issue granularity of a call: how many data-parallel
+// threads collaborated to issue this one descriptor. The warp-level
+// parallelism literature motivates warp as the natural unit for divergent
+// I/O; GPUfs's own API is block-collective.
+type Granularity uint8
+
+// Issue granularities.
+const (
+	GranThread Granularity = iota
+	GranWarp
+	GranBlock
+	numGran
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case GranThread:
+		return "thread"
+	case GranWarp:
+		return "warp"
+	case GranBlock:
+		return "block"
+	}
+	return fmt.Sprintf("gran(%d)", uint8(g))
+}
+
+// ParseGranularity parses a granularity knob string as used by the cmd
+// flags ("thread", "warp", "block").
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "thread":
+		return GranThread, nil
+	case "warp":
+		return GranWarp, nil
+	case "block":
+		return GranBlock, nil
+	}
+	return 0, fmt.Errorf("unknown granularity %q (want thread, warp, or block)", s)
+}
+
+// Ordering is the memory-ordering class of a call with respect to other
+// calls on the same lane.
+type Ordering uint8
+
+// Ordering classes.
+const (
+	// OrderStrong calls are FIFO-fenced per lane: a strong call is
+	// ordered after every earlier strong call on its lane has completed.
+	OrderStrong Ordering = iota
+	// OrderRelaxed calls bypass the lane fence: they complete out of
+	// order on the completion queue and are joined explicitly.
+	OrderRelaxed
+	numOrdering
+)
+
+// String names the ordering class.
+func (o Ordering) String() string {
+	switch o {
+	case OrderStrong:
+		return "strong"
+	case OrderRelaxed:
+		return "relaxed"
+	}
+	return fmt.Sprintf("ordering(%d)", uint8(o))
+}
+
+// ParseOrdering parses an ordering knob string as used by the cmd flags
+// and params.Config.SyscallOrdering ("strong", "relaxed"; "" defaults to
+// strong).
+func ParseOrdering(s string) (Ordering, error) {
+	switch s {
+	case "", "strong":
+		return OrderStrong, nil
+	case "relaxed":
+		return OrderRelaxed, nil
+	}
+	return 0, fmt.Errorf("unknown ordering %q (want strong or relaxed)", s)
+}
+
+// Blocking is the completion-wait mode of a call.
+type Blocking uint8
+
+// Blocking modes.
+const (
+	// CallBlocking calls advance the issuing block's clock to the call's
+	// completion before returning.
+	CallBlocking Blocking = iota
+	// CallNonBlocking calls leave the block's clock untouched; the
+	// completion time is reported through a Future (or discarded for
+	// detached speculation such as prefetch).
+	CallNonBlocking
+	numBlocking
+)
+
+// String names the blocking mode.
+func (b Blocking) String() string {
+	switch b {
+	case CallBlocking:
+		return "blocking"
+	case CallNonBlocking:
+		return "nonblocking"
+	}
+	return fmt.Sprintf("blocking(%d)", uint8(b))
+}
+
+// Desc is the typed syscall descriptor every call carries on the wire.
+type Desc struct {
+	Sysno Sysno
+	Gran  Granularity
+	Order Ordering
+	Block Blocking
+}
+
+// Valid reports whether every enum field is in range (used by frame
+// decoding to reject corrupt descriptors).
+func (d Desc) Valid() bool {
+	return d.Sysno < numSysno && d.Gran < numGran && d.Order < numOrdering && d.Block < numBlocking
+}
+
+// String renders the descriptor for traces and errors.
+func (d Desc) String() string {
+	return fmt.Sprintf("%v/%v/%v/%v", d.Sysno, d.Gran, d.Order, d.Block)
+}

@@ -122,6 +122,12 @@ type Config struct {
 	// pinned to worker s mod DaemonWorkers. 0 or 1 reproduces the
 	// single-threaded daemon.
 	DaemonWorkers int
+	// SyscallOrdering selects the default ordering class of the generic
+	// syscall layer (ISSUE 7): "" or "strong" keeps every call on the
+	// per-lane FIFO fence (the prototype's semantics, bit-identical
+	// timing); "relaxed" lets workloads opt into out-of-order completion
+	// (open-ahead pipelining past the fence, joined explicitly).
+	SyscallOrdering string
 	// ForceLockedTraversal disables lock-free radix-tree reads on every
 	// GPU, reproducing Figure 7's locked baseline.
 	ForceLockedTraversal bool
@@ -317,6 +323,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("params: DaemonWorkers must be >= 0, got %d", c.DaemonWorkers)
 	case c.CleanerWorkers < 0:
 		return fmt.Errorf("params: CleanerWorkers must be >= 0, got %d", c.CleanerWorkers)
+	case c.SyscallOrdering != "" && c.SyscallOrdering != "strong" && c.SyscallOrdering != "relaxed":
+		return fmt.Errorf("params: SyscallOrdering must be \"\", \"strong\", or \"relaxed\", got %q", c.SyscallOrdering)
 	case c.Scale <= 0:
 		return fmt.Errorf("params: Scale must be positive, got %v", c.Scale)
 	}

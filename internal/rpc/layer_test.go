@@ -38,12 +38,11 @@ func shardedHarness(t *testing.T, shards, workers int) (*Server, *Client, *hostf
 	return srv, srv.NewClient(0, bus.NewLink(0, nil, 0)), host
 }
 
-// TestOpNamesInSync pins opNames to the Op enum: adding an op without a
-// wire name (or vice versa) must fail loudly, not render as "op(9)".
-func TestOpNamesInSync(t *testing.T) {
-	if len(opNames) != int(numOps) {
-		t.Fatalf("opNames has %d entries, Op enum has %d", len(opNames), numOps)
-	}
+// TestOpNamesUnique checks every op renders a distinct wire name. The
+// enum-to-name drift itself is caught at compile time by the knownOps
+// array guard next to String() — adding an op without a name no longer
+// builds — so only name collisions remain a runtime concern.
+func TestOpNamesUnique(t *testing.T) {
 	seen := make(map[string]Op, numOps)
 	for op := Op(0); op < numOps; op++ {
 		name := op.String()

@@ -82,15 +82,53 @@ const (
 	OpStat
 	OpFsync
 	OpValidate
+	OpReaddir
+	OpPipeOpen
+	OpPipeRead
+	OpPipeWrite
+	OpPipeClose
 	numOps
 )
 
-var opNames = [...]string{"open", "close", "read", "write", "truncate", "unlink", "stat", "fsync", "validate"}
+// knownOps is the compile-time drift guard companion of numOps: adding an
+// Op without extending String() below (and this constant) fails the
+// array-length assignment instead of rendering as "Op(14)" at runtime.
+const knownOps = 14
 
-// String names the request operation.
+var _ [knownOps]struct{} = [numOps]struct{}{}
+
+// String names the request operation. The switch is exhaustive over the
+// enum; the drift guard above forces an update when an Op is added.
 func (o Op) String() string {
-	if int(o) < len(opNames) {
-		return opNames[o]
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpClose:
+		return "close"
+	case OpReadPages:
+		return "read"
+	case OpWritePages:
+		return "write"
+	case OpTruncate:
+		return "truncate"
+	case OpUnlink:
+		return "unlink"
+	case OpStat:
+		return "stat"
+	case OpFsync:
+		return "fsync"
+	case OpValidate:
+		return "validate"
+	case OpReaddir:
+		return "readdir"
+	case OpPipeOpen:
+		return "pipe_open"
+	case OpPipeRead:
+		return "pipe_read"
+	case OpPipeWrite:
+		return "pipe_write"
+	case OpPipeClose:
+		return "pipe_close"
 	}
 	return fmt.Sprintf("Op(%d)", int(o))
 }
@@ -201,6 +239,37 @@ func (s *Server) SetMetrics(reg *metrics.Registry) { s.met = reg }
 
 // Layer returns the consistency layer the server manages.
 func (s *Server) Layer() *wrapfs.Layer { return s.layer }
+
+// Metrics returns the registry attached via SetMetrics (nil when metrics
+// are disabled). The gsys syscall layer resolves its ordering-class
+// latency instruments from it.
+func (s *Server) Metrics() *metrics.Registry { return s.met }
+
+// AllocFD registers an open host file in the daemon's descriptor table
+// and returns its handle. Syscall-table handlers outside this package
+// (internal/gsys) use it where the in-package handlers touch s.fds
+// directly.
+func (s *Server) AllocFD(f *hostfs.File) int64 {
+	s.mu.Lock()
+	h := s.nextFd
+	s.nextFd++
+	s.fds[h] = f
+	s.mu.Unlock()
+	return h
+}
+
+// FileByFD resolves a descriptor handle to its host file.
+func (s *Server) FileByFD(fd int64) (*hostfs.File, error) { return s.file(fd) }
+
+// ReleaseFD removes a descriptor handle from the table, returning the
+// host file (nil if the handle was unknown). The caller closes the file.
+func (s *Server) ReleaseFD(fd int64) *hostfs.File {
+	s.mu.Lock()
+	f := s.fds[fd]
+	delete(s.fds, fd)
+	s.mu.Unlock()
+	return f
+}
 
 // Requests reports how many requests of the given op have been served
 // (each retry attempt is a separate ring transaction and counts).
@@ -321,6 +390,32 @@ func (c *Client) UnmatchedCompletions() int64 { return c.t.cq.Unmatched() }
 // result values land in variables the caller captured.
 func (c *Client) invoke(blk *simtime.Clock, op Op, handler Handler) error {
 	return c.t.Submit(blk, c.shard, op, handler)
+}
+
+// Server returns the daemon this client talks to.
+func (c *Client) Server() *Server { return c.srv }
+
+// Do runs one blocking request on this view's ring shard: the block's
+// clock advances to response delivery. It is the exported form of invoke
+// for syscall-table handlers layered above this package (internal/gsys);
+// the in-package typed operations are unchanged clients of the same path.
+func (c *Client) Do(blk *simtime.Clock, op Op, handler Handler) error {
+	return c.invoke(blk, op, handler)
+}
+
+// DoAsync runs one non-blocking request: it is enqueued at the block's
+// current time and handled identically, but the block's clock is
+// untouched and the returned time says when the response lands. Like all
+// detached submissions it is never retried.
+func (c *Client) DoAsync(blk *simtime.Clock, op Op, handler Handler) (simtime.Time, error) {
+	return c.t.SubmitAsync(blk, c.shard, op, handler)
+}
+
+// ReadFull is the exported form of readFull for handlers layered above
+// this package: it reads into staging at off, looping past injected short
+// reads (n == 0 is true EOF).
+func (c *Client) ReadFull(cclk *simtime.Clock, f *hostfs.File, staging []byte, off int64) (int, error) {
+	return c.readFull(cclk, f, staging, off)
 }
 
 // Open opens the host file and returns a server-side descriptor handle and

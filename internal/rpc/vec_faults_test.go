@@ -1,0 +1,176 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"gpufs/internal/faults"
+	"gpufs/internal/hostfs"
+	"gpufs/internal/simtime"
+)
+
+// vecFile stages /vec with size bytes of a deterministic pattern and
+// returns its content and an open descriptor.
+func vecFile(t *testing.T, cl *Client, host *hostfs.FS, size int) (int64, []byte) {
+	t.Helper()
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	if err := host.WriteFile(simtime.NewClock(0), "/vec", data, rwMode); err != nil {
+		t.Fatal(err)
+	}
+	fd, _, err := cl.Open(simtime.NewClock(0), "/vec", hostfs.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fd, data
+}
+
+// sentinelVec builds pages destination frames of pageBytes each, filled
+// with a sentinel so an untouched byte is distinguishable from a copied
+// zero.
+func sentinelVec(pages, pageBytes int) [][]byte {
+	dsts := make([][]byte, pages)
+	for i := range dsts {
+		dsts[i] = bytes.Repeat([]byte{0xEE}, pageBytes)
+	}
+	return dsts
+}
+
+// TestReadPagesVecShortAtEOF pins the per-page count contract when the
+// vector runs past end of file: full counts for covered pages, a short
+// count for the page straddling EOF, zero for pages wholly past it — and
+// the bytes of every untouched tail still hold the caller's sentinel.
+func TestReadPagesVecShortAtEOF(t *testing.T) {
+	_, cl, host := harness(t)
+	const page = 1024
+	fd, data := vecFile(t, cl, host, 2*page+512) // 2.5 pages
+
+	dsts := sentinelVec(4, page)
+	c := simtime.NewClock(0)
+	ns, done, err := cl.ReadPagesVecAsync(c, fd, 0, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatalf("completion time %v not in the future", done)
+	}
+	want := []int{page, page, 512, 0}
+	for i, n := range ns {
+		if n != want[i] {
+			t.Fatalf("page %d count = %d, want %d (ns=%v)", i, n, want[i], ns)
+		}
+		if n > 0 && !bytes.Equal(dsts[i][:n], data[i*page:i*page+n]) {
+			t.Fatalf("page %d bytes differ from file content", i)
+		}
+		for j := n; j < page; j++ {
+			if dsts[i][j] != 0xEE {
+				t.Fatalf("page %d byte %d overwritten past the short count", i, j)
+			}
+		}
+	}
+	// Speculative reads must not advance the issuing block's clock.
+	if c.Now() != 0 {
+		t.Fatalf("async vec read advanced the block clock to %v", c.Now())
+	}
+}
+
+// TestReadPagesVecPersistentShortReads forces EVERY host pread short
+// (probability 1) and checks the daemon's reassembly loop still delivers
+// the full extent: short reads are a host artifact the vec op must hide,
+// not a result the GPU ever sees.
+func TestReadPagesVecPersistentShortReads(t *testing.T) {
+	srv, cl, host := harness(t)
+	inj := faults.New(faults.Config{Seed: 7, HostShortReadProb: 1})
+	srv.SetFaultInjector(inj)
+	host.SetFaultInjector(inj)
+
+	const page = 1024
+	fd, data := vecFile(t, cl, host, 4*page)
+
+	dsts := sentinelVec(4, page)
+	ns, _, err := cl.ReadPagesVecAsync(simtime.NewClock(0), fd, 0, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range ns {
+		if n != page {
+			t.Fatalf("page %d count = %d under short reads, want %d", i, n, page)
+		}
+		if !bytes.Equal(dsts[i], data[i*page:(i+1)*page]) {
+			t.Fatalf("page %d bytes differ after short-read reassembly", i)
+		}
+	}
+	if inj.Injected(faults.HostShortRead) < 2 {
+		t.Fatalf("only %d short reads injected; the reassembly loop never ran",
+			inj.Injected(faults.HostShortRead))
+	}
+}
+
+// TestReadPagesVecMidVectorEIO is the partial-failure oracle: short reads
+// at probability 1 force the daemon's reassembly loop to issue several
+// preads per vec op, and a 30% EIO rate makes some of those CONTINUATION
+// preads fail — an error striking after part of the extent has already
+// been read. The contract under any such fault is all-or-nothing: either
+// the call succeeds with exact per-page counts and bytes, or it returns
+// the error with every count zero and every destination frame untouched.
+// No seed may leak a partially filled vector.
+func TestReadPagesVecMidVectorEIO(t *testing.T) {
+	const (
+		page  = 1024
+		pages = 4
+		seeds = 120
+	)
+	var sawClean, sawFirst, sawMid int
+	for seed := int64(1); seed <= seeds; seed++ {
+		srv, cl, host := harness(t)
+		inj := faults.New(faults.Config{
+			Seed:              seed,
+			HostShortReadProb: 1,
+			HostReadEIOProb:   0.3,
+		})
+		srv.SetFaultInjector(inj)
+		host.SetFaultInjector(inj)
+		fd, data := vecFile(t, cl, host, pages*page)
+
+		dsts := sentinelVec(pages, page)
+		ns, _, err := cl.ReadPagesVecAsync(simtime.NewClock(0), fd, 0, dsts)
+		if err == nil {
+			sawClean++
+			for i, n := range ns {
+				if n != page {
+					t.Fatalf("seed %d: clean run page %d count = %d, want %d", seed, i, n, page)
+				}
+				if !bytes.Equal(dsts[i], data[i*page:(i+1)*page]) {
+					t.Fatalf("seed %d: clean run page %d bytes differ", seed, i)
+				}
+			}
+			continue
+		}
+		// Failed run: the fault may have hit the first pread or a
+		// continuation pread after bytes were already staged; the
+		// caller-visible result must be identical either way.
+		if inj.Injected(faults.HostReadEIO) == 0 {
+			t.Fatalf("seed %d: vec read failed without an injected EIO: %v", seed, err)
+		}
+		if inj.Injected(faults.HostShortRead) > 0 {
+			sawMid++ // a short pread landed before the EIO: mid-vector failure
+		} else {
+			sawFirst++
+		}
+		for i, n := range ns {
+			if n != 0 {
+				t.Fatalf("seed %d: failed vec read leaked count %d for page %d", seed, n, i)
+			}
+			if !bytes.Equal(dsts[i], bytes.Repeat([]byte{0xEE}, page)) {
+				t.Fatalf("seed %d: failed vec read wrote into page %d", seed, i)
+			}
+		}
+	}
+	t.Logf("vec EIO oracle: %d clean, %d failed on first pread, %d failed mid-vector", sawClean, sawFirst, sawMid)
+	if sawClean == 0 || sawMid == 0 {
+		t.Fatalf("seed sweep unbalanced (clean=%d first=%d mid=%d); faults not exercising the mid-vector path",
+			sawClean, sawFirst, sawMid)
+	}
+}

@@ -60,20 +60,84 @@ const (
 	// cleaner runs on its own lane, not a threadblock); Bytes is the
 	// extent written back or pre-evicted.
 	OpClean
+	// OpReaddir marks one greaddir page (generic syscall surface,
+	// ISSUE 7); Bytes is the number of entries returned.
+	OpReaddir
+	// OpReadWarp marks one gpread_warp call; Bytes is the total extent
+	// read across the warp's coalesced descriptors.
+	OpReadWarp
+	// The gpipe operations: Path names the pipe; Bytes the record size.
+	OpPipeOpen
+	OpPipeRead
+	OpPipeWrite
+	OpPipeClose
 	numOps
 )
 
-var opNames = [numOps]string{
-	"gopen", "gclose", "gread", "gwrite", "gfsync",
-	"gmmap", "gmunmap", "gmsync", "gunlink", "gfstat", "gftruncate",
-	"evict", "fault", "retry", "enqueue", "batch", "dispatch",
-	"prefetch", "prefetch-waste", "clean",
-}
+// knownOps is the compile-time drift guard companion of numOps: adding an
+// Op without extending String() below (and this constant) fails the
+// array-length assignment instead of rendering as "Op(26)" at runtime.
+const knownOps = 26
 
-// String names the operation as the paper does (gopen, gread, ...).
+var _ [knownOps]struct{} = [numOps]struct{}{}
+
+// String names the operation as the paper does (gopen, gread, ...). The
+// switch is exhaustive over the enum; the drift guard above forces an
+// update when an Op is added.
 func (o Op) String() string {
-	if int(o) < len(opNames) {
-		return opNames[o]
+	switch o {
+	case OpOpen:
+		return "gopen"
+	case OpClose:
+		return "gclose"
+	case OpRead:
+		return "gread"
+	case OpWrite:
+		return "gwrite"
+	case OpFsync:
+		return "gfsync"
+	case OpMmap:
+		return "gmmap"
+	case OpMunmap:
+		return "gmunmap"
+	case OpMsync:
+		return "gmsync"
+	case OpUnlink:
+		return "gunlink"
+	case OpFstat:
+		return "gfstat"
+	case OpFtruncate:
+		return "gftruncate"
+	case OpEvict:
+		return "evict"
+	case OpFault:
+		return "fault"
+	case OpRetry:
+		return "retry"
+	case OpEnqueue:
+		return "enqueue"
+	case OpBatch:
+		return "batch"
+	case OpDispatch:
+		return "dispatch"
+	case OpPrefetch:
+		return "prefetch"
+	case OpPrefetchWaste:
+		return "prefetch-waste"
+	case OpClean:
+		return "clean"
+	case OpReaddir:
+		return "greaddir"
+	case OpReadWarp:
+		return "gread_warp"
+	case OpPipeOpen:
+		return "gpipe_open"
+	case OpPipeRead:
+		return "gpipe_read"
+	case OpPipeWrite:
+		return "gpipe_write"
+	case OpPipeClose:
+		return "gpipe_close"
 	}
 	return fmt.Sprintf("Op(%d)", int(o))
 }

@@ -248,16 +248,45 @@ func GrepGPUfs(sys *gpufs.System, gpuID int, dictPath, listPath, outPath string,
 			return nil
 		}
 
+		// With the syscall layer in relaxed mode, the block pipelines the
+		// opens of its next few input files past the lane fence
+		// (GopenAhead): the host round trips overlap this file's reads
+		// and matching compute instead of serializing before each file.
+		// Strong mode leaves the loop exactly as the prototype: one
+		// blocking gopen per file.
+		relaxed := sys.Config().SyscallOrdering == "relaxed"
+		const openAheadWindow = 4
+		var mine []int // indices of files this block owns shards for
+		for fi := range files {
+			if len(shardsOf(fi, c.Idx, c.Blocks)) > 0 {
+				mine = append(mine, fi)
+			}
+		}
+		pending := make(map[int]*gpufs.OpenFuture)
+
 		local := make(map[string]int)
 		var scanned int64
 		var buf []byte
-		for fi, path := range files {
+		for mi, fi := range mine {
+			path := files[fi]
 			myShards := shardsOf(fi, c.Idx, c.Blocks)
-			if len(myShards) == 0 {
-				continue
+			if relaxed {
+				for j := mi; j < len(mine) && j < mi+openAheadWindow; j++ {
+					if pending[j] == nil {
+						pending[j] = c.GopenAhead(files[mine[j]], gpufs.O_RDONLY)
+					}
+				}
 			}
-			// One file at a time: gopen, gread the content, gclose.
-			fd, err := c.Gopen(path, gpufs.O_RDONLY)
+			// One file at a time: gopen (joining the open-ahead future if
+			// one is in flight), gread the content, gclose.
+			var fd int
+			var err error
+			if of := pending[mi]; of != nil {
+				delete(pending, mi)
+				fd, err = c.Gwait(of)
+			} else {
+				fd, err = c.Gopen(path, gpufs.O_RDONLY)
+			}
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,268 @@
+package gpufs_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gpufs"
+	"gpufs/internal/gsys"
+	"gpufs/internal/simtime"
+)
+
+// gpipe conformance (ISSUE 7 acceptance): across randomized schedules —
+// random capacities, record sizes, producer counts, and think times — the
+// pipe must deliver every record exactly once, in per-writer order, and
+// never let the consumer observe a byte before the virtual time its
+// producer finished writing it.
+
+// pipeRecord is the conformance framing: writer id + per-writer sequence
+// number + payload length, then a payload derived from (writer, seq).
+const confHeader = 12
+
+func confPayload(writer, seq, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(writer*131 + seq*7 + i)
+	}
+	return p
+}
+
+// onePipeSchedule drives one randomized producer/consumer schedule and
+// checks delivery and virtual-time ordering.
+func onePipeSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := gpufs.ScaledConfig(1.0 / 256)
+	cfg.NumGPUs = 2
+	sys, err := gpufs.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: NewSystem: %v", seed, err)
+	}
+
+	writers := 1 + rng.Intn(2)
+	capBytes := 512 + rng.Intn(4096)
+	maxRec := capBytes - confHeader
+	if maxRec > 1500 {
+		maxRec = 1500
+	}
+	recsPerWriter := 8 + rng.Intn(25)
+	name := fmt.Sprintf("conf-%d", seed)
+
+	// sentAt[writer][seq] is the writer's virtual clock right after the
+	// write returned — i.e. the D2H completion time of the record.
+	sentAt := make([][]simtime.Time, writers)
+	sizes := make([][]int, writers)
+	for w := range sentAt {
+		sentAt[w] = make([]simtime.Time, recsPerWriter)
+		sizes[w] = make([]int, recsPerWriter)
+		for s := range sizes[w] {
+			sizes[w][s] = 1 + rng.Intn(maxRec)
+		}
+	}
+	// Pre-draw think times so kernel bodies stay deterministic given the
+	// schedule (rng is not safe across goroutines).
+	think := make([][]simtime.Duration, writers)
+	for w := range think {
+		think[w] = make([]simtime.Duration, recsPerWriter)
+		for s := range think[w] {
+			think[w][s] = simtime.Duration(rng.Intn(40_000))
+		}
+	}
+	readThink := make([]simtime.Duration, writers*recsPerWriter+8)
+	for i := range readThink {
+		readThink[i] = simtime.Duration(rng.Intn(25_000))
+	}
+	readBuf := 64 + rng.Intn(4*capBytes)
+
+	type got struct {
+		writer, seq, size int
+		at                simtime.Time
+		payload           []byte
+	}
+	var received []got
+
+	var wg sync.WaitGroup
+	var prodErr, consErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, prodErr = sys.GPU(0).Launch(0, writers, 32, func(c *gpufs.BlockCtx) error {
+			w := c.Idx
+			pd, err := c.GpipeOpen(name, gpufs.PipeWriter, capBytes, writers)
+			if err != nil {
+				return err
+			}
+			rec := make([]byte, confHeader+maxRec)
+			for s := 0; s < recsPerWriter; s++ {
+				c.Busy(think[w][s])
+				n := sizes[w][s]
+				binary.LittleEndian.PutUint32(rec[0:4], uint32(w))
+				binary.LittleEndian.PutUint32(rec[4:8], uint32(s))
+				binary.LittleEndian.PutUint32(rec[8:12], uint32(n))
+				copy(rec[confHeader:], confPayload(w, s, n))
+				if _, err := c.GpipeWrite(pd, rec[:confHeader+n]); err != nil {
+					return fmt.Errorf("writer %d rec %d: %w", w, s, err)
+				}
+				sentAt[w][s] = c.Clock.Now()
+			}
+			return c.GpipeClose(pd, gpufs.PipeWriter)
+		})
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, consErr = sys.GPU(1).Launch(0, 1, 32, func(c *gpufs.BlockCtx) error {
+			pd, err := c.GpipeOpen(name, gpufs.PipeReader, capBytes, writers)
+			if err != nil {
+				return err
+			}
+			scratch := make([]byte, readBuf)
+			var pending []byte
+			reads := 0
+			for {
+				n, err := c.GpipeRead(pd, scratch)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					if errors.Is(err, gsys.ErrPipeEmpty) {
+						return fmt.Errorf("would-block leaked to caller: %w", err)
+					}
+					return err
+				}
+				if reads < len(readThink) {
+					c.Busy(readThink[reads])
+					reads++
+				}
+				now := c.Clock.Now()
+				pending = append(pending, scratch[:n]...)
+				for len(pending) >= confHeader {
+					w := int(binary.LittleEndian.Uint32(pending[0:4]))
+					s := int(binary.LittleEndian.Uint32(pending[4:8]))
+					sz := int(binary.LittleEndian.Uint32(pending[8:12]))
+					if len(pending) < confHeader+sz {
+						break
+					}
+					received = append(received, got{
+						writer: w, seq: s, size: sz, at: now,
+						payload: append([]byte(nil), pending[confHeader:confHeader+sz]...),
+					})
+					pending = pending[confHeader+sz:]
+				}
+			}
+			if len(pending) != 0 {
+				return fmt.Errorf("stream ended mid-record (%d stray bytes)", len(pending))
+			}
+			return c.GpipeClose(pd, gpufs.PipeReader)
+		})
+	}()
+	wg.Wait()
+	if prodErr != nil {
+		t.Fatalf("seed %d: producer: %v", seed, prodErr)
+	}
+	if consErr != nil {
+		t.Fatalf("seed %d: consumer: %v", seed, consErr)
+	}
+
+	// Exactly-once, in per-writer order, bytes intact.
+	if len(received) != writers*recsPerWriter {
+		t.Fatalf("seed %d: received %d records, want %d", seed, len(received), writers*recsPerWriter)
+	}
+	nextSeq := make([]int, writers)
+	for i, g := range received {
+		if g.writer < 0 || g.writer >= writers {
+			t.Fatalf("seed %d: record %d from unknown writer %d", seed, i, g.writer)
+		}
+		if g.seq != nextSeq[g.writer] {
+			t.Fatalf("seed %d: writer %d records out of order: got seq %d, want %d",
+				seed, g.writer, g.seq, nextSeq[g.writer])
+		}
+		nextSeq[g.writer]++
+		if g.size != sizes[g.writer][g.seq] {
+			t.Fatalf("seed %d: writer %d rec %d is %d bytes, want %d",
+				seed, g.writer, g.seq, g.size, sizes[g.writer][g.seq])
+		}
+		want := confPayload(g.writer, g.seq, g.size)
+		for j := range want {
+			if g.payload[j] != want[j] {
+				t.Fatalf("seed %d: writer %d rec %d corrupted at byte %d", seed, g.writer, g.seq, j)
+			}
+		}
+		// Virtual-time causality: the consumer's clock at the read that
+		// delivered this record is no earlier than the producer's clock
+		// when the write completed (the record's D2H landing time).
+		if g.at < sentAt[g.writer][g.seq] {
+			t.Fatalf("seed %d: writer %d rec %d consumed at %v before written at %v",
+				seed, g.writer, g.seq, g.at, sentAt[g.writer][g.seq])
+		}
+	}
+}
+
+// TestGpipeConformance runs 100 randomized schedules (ISSUE 7
+// acceptance): varying pipe capacity, writer count, record sizes, and
+// producer/consumer think times.
+func TestGpipeConformance(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		onePipeSchedule(t, seed)
+	}
+}
+
+// TestGpipeBrokenPipe checks EPIPE semantics: once the reader closes its
+// end, a blocked or future write fails with ErrPipeBroken instead of
+// waiting forever on space that cannot free.
+func TestGpipeBrokenPipe(t *testing.T) {
+	cfg := gpufs.ScaledConfig(1.0 / 256)
+	cfg.NumGPUs = 2
+	sys, err := gpufs.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	const capBytes = 1024
+	var wg sync.WaitGroup
+	var wErr, rErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, wErr = sys.GPU(0).Launch(0, 1, 32, func(c *gpufs.BlockCtx) error {
+			pd, err := c.GpipeOpen("epipe", gpufs.PipeWriter, capBytes, 1)
+			if err != nil {
+				return err
+			}
+			rec := make([]byte, 512)
+			for i := 0; ; i++ {
+				if _, err := c.GpipeWrite(pd, rec); err != nil {
+					if !errors.Is(err, gsys.ErrPipeBroken) {
+						return fmt.Errorf("write %d: got %v, want ErrPipeBroken", i, err)
+					}
+					return nil
+				}
+			}
+		})
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, rErr = sys.GPU(1).Launch(0, 1, 32, func(c *gpufs.BlockCtx) error {
+			pd, err := c.GpipeOpen("epipe", gpufs.PipeReader, capBytes, 1)
+			if err != nil {
+				return err
+			}
+			// Consume one record, then walk away.
+			if _, err := c.GpipeRead(pd, make([]byte, 512)); err != nil {
+				return err
+			}
+			return c.GpipeClose(pd, gpufs.PipeReader)
+		})
+	}()
+	wg.Wait()
+	if wErr != nil {
+		t.Fatalf("writer: %v", wErr)
+	}
+	if rErr != nil {
+		t.Fatalf("reader: %v", rErr)
+	}
+}
