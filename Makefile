@@ -4,9 +4,11 @@
 #   tier2      — the merge gate: gofmt-clean, vet clean, the full
 #                suite under the race detector (the stress/oracle tests
 #                run 500 seeds concurrently, so this is where sync bugs
-#                die), the bench guardrail pinning the Fig4 16K
-#                throughput and daemon-scaling speedup to BENCH_4.json,
-#                and the 4-host fleet remediation demo end to end.
+#                die), the bench guardrail pinning the Fig4 16K/32K
+#                throughputs, daemon-scaling speedup, and contention
+#                speedup to BENCH_5.json, mutex/block profiles harvested
+#                from the contention benchmark into artifacts/, and the
+#                4-host fleet remediation demo end to end.
 #   fuzz-smoke — 30s coverage-guided runs of the radix-tree fuzzer and
 #                the syscall wire-frame round-trip fuzzer; CI budget, not
 #                a soak. Extend -fuzztime for real hunts.
@@ -22,10 +24,12 @@
 #                show cordon/drain/replace, fail if any admitted job is
 #                lost or fault-phase throughput drops below 60% of
 #                steady state.
-#   bench-smoke — the Readahead policy and syscall Ordering experiments
-#                at 1/256 scale, one rep: a seconds-long CI check that
-#                the bench harness, the adaptive read-ahead engine, and
-#                the ordering-aware transport still run end to end.
+#   bench-smoke — the Readahead policy, syscall Ordering, and hot-path
+#                Contention experiments at 1/256 scale, one rep: a
+#                seconds-long CI check that the bench harness, the
+#                adaptive read-ahead engine, the ordering-aware
+#                transport, and the lock-free read path still run end
+#                to end.
 
 GO ?= go
 
@@ -41,6 +45,11 @@ tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	GPUFS_BENCH_GUARDRAIL=1 $(GO) test -count=1 -run TestBenchGuardrail ./internal/bench
+	mkdir -p artifacts
+	$(GO) test -run '^$$' -bench BenchmarkContention -benchtime 1x \
+		-outputdir $(CURDIR)/artifacts \
+		-mutexprofile contention-mutex.pprof \
+		-blockprofile contention-block.pprof ./internal/bench
 	$(GO) run ./cmd/gpufs-serve -hosts 4 >/dev/null
 
 fuzz-smoke:
@@ -65,3 +74,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/gpufs-bench -exp readahead -scale 0.00390625 -reps 1
 	$(GO) run ./cmd/gpufs-bench -exp ordering -scale 0.00390625 -reps 1
+	$(GO) run ./cmd/gpufs-bench -exp contention -scale 0.00390625 -reps 1

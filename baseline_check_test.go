@@ -28,6 +28,11 @@ func TestStrongOrderingBitIdenticalBaseline(t *testing.T) {
 		cfg.RPCShards = 1
 		cfg.DaemonWorkers = 1
 		cfg.SyscallOrdering = ordering
+		// The lock-free hot path (ISSUE 8) must be a pure superset: with
+		// zero-copy off and a single allocator shard, the pre-ISSUE-8
+		// timeline reproduces exactly.
+		cfg.ZeroCopyRead = false
+		cfg.FrameShards = 1
 		sys, err := gpufs.NewSystem(cfg)
 		if err != nil {
 			t.Fatal(err)

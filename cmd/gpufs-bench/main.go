@@ -24,7 +24,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0/32, "uniform scale factor for capacities and input sizes")
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, readahead, ablation, serve, daemon, ordering")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, readahead, ablation, serve, daemon, ordering, contention")
 	reps := flag.Int("reps", 3, "runs averaged per measured cell (the paper averages 5)")
 	ordering := flag.String("ordering", "", `default syscall ordering for every experiment: "strong" or "relaxed" (empty = config default; the ordering sweep pins its own)`)
 	jsonOut := flag.Bool("json", false, "emit machine-readable NDJSON (one object per table row) instead of text tables")
@@ -52,19 +52,20 @@ func main() {
 	}
 
 	runners := map[string]func(float64) (*bench.Table, error){
-		"fig4":      bench.Fig4,
-		"fig5":      bench.Fig5,
-		"fig6":      bench.Fig6,
-		"fig7":      bench.Fig7,
-		"fig8":      bench.Fig8,
-		"table2":    bench.Table2,
-		"table3":    bench.Table3,
-		"table4":    bench.Table4,
-		"readahead": bench.Readahead,
-		"ablation":  bench.Ablation,
-		"serve":     bench.Serve,
-		"daemon":    bench.DaemonScaling,
-		"ordering":  bench.Ordering,
+		"fig4":       bench.Fig4,
+		"fig5":       bench.Fig5,
+		"fig6":       bench.Fig6,
+		"fig7":       bench.Fig7,
+		"fig8":       bench.Fig8,
+		"table2":     bench.Table2,
+		"table3":     bench.Table3,
+		"table4":     bench.Table4,
+		"readahead":  bench.Readahead,
+		"ablation":   bench.Ablation,
+		"serve":      bench.Serve,
+		"daemon":     bench.DaemonScaling,
+		"ordering":   bench.Ordering,
+		"contention": bench.Contention,
 	}
 
 	if !*jsonOut {

@@ -225,6 +225,14 @@ func NewSystemWithMetrics(cfg Config, reg *metrics.Registry) (*System, error) {
 		})
 		link := bus.NewLink(i, dev.MemBandwidthResource(), cfg.GPUMemBandwidth)
 		client := server.NewClient(i, link)
+		// FrameShards 0 resolves to one allocator shard per multiprocessor:
+		// lanes (threadblocks and cleaner workers) hash by index, so the
+		// shard count that matches the hardware's concurrency is the MP
+		// count.
+		frameShards := cfg.FrameShards
+		if frameShards == 0 {
+			frameShards = cfg.MPsPerGPU
+		}
 		fs, err := core.New(i, core.Options{
 			PageSize:             cfg.PageSize,
 			CacheBytes:           cfg.BufferCacheBytes,
@@ -236,6 +244,8 @@ func NewSystemWithMetrics(cfg Config, reg *metrics.Registry) (*System, error) {
 			ReadAheadAdaptive:    cfg.ReadAheadAdaptive,
 			CleanerWorkers:       cfg.CleanerWorkers,
 			DisableFastReopen:    cfg.DisableFastReopen,
+			ZeroCopyRead:         cfg.ZeroCopyRead,
+			FrameShards:          frameShards,
 			Metrics:              reg,
 			Syscalls:             syscalls,
 			SyscallOrdering:      ordering,

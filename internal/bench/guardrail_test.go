@@ -11,16 +11,20 @@ import (
 	"gpufs/internal/workloads"
 )
 
-// TestBenchGuardrail pins two headline numbers against the committed
-// reference run (BENCH_4.json at the repo root, generated at the default
+// TestBenchGuardrail pins headline numbers against the committed
+// reference run (BENCH_5.json at the repo root, generated at the default
 // -scale 1/32 with -reps 3):
 //
-//   - the Figure 4 sequential-read throughput at 16K pages, the paper's
-//     most page-fault-intensive point — any slowdown in the open/fault/
-//     DMA pipeline shows up here first; and
+//   - the Figure 4 sequential-read throughput at 16K AND 32K pages, the
+//     paper's most page-fault-intensive points — any slowdown in the
+//     open/fault/DMA pipeline shows up here first, and the 32K row is
+//     where the PR-8 pinned-fill path must stay ahead of the BENCH_4
+//     era (the cross-reference check below);
 //   - the daemon-scaling grep speedup at 4 workers over the serialized
 //     single-worker daemon — the parallel-RPC-stack win this repo's PR 2
-//     introduced.
+//     introduced; and
+//   - the contention speedup at 8 workers — the PR-8 lock-free hot
+//     path's win, floored at the 1.3x acceptance bar.
 //
 // Costs ~30s of wall time, so it is opt-in: `make tier2` exports
 // GPUFS_BENCH_GUARDRAIL=1; plain `go test` skips it.
@@ -28,17 +32,17 @@ func TestBenchGuardrail(t *testing.T) {
 	if os.Getenv("GPUFS_BENCH_GUARDRAIL") == "" {
 		t.Skip("set GPUFS_BENCH_GUARDRAIL=1 to run the reference-pinned bench guardrail")
 	}
-	ref := loadBenchReference(t, "../../BENCH_4.json")
-	const scale = 1.0 / 32 // the scale BENCH_4.json was generated at
+	ref := loadBenchReference(t, "../../BENCH_5.json")
+	const scale = 1.0 / 32 // the scale BENCH_5.json was generated at
 
-	t.Run("Fig4-16K", func(t *testing.T) {
-		want := ref.float(t, "Figure 4", "page", "16K", "GPUfs MB/s")
+	fig4 := func(t *testing.T, pageSize int64, label string) {
+		want := ref.float(t, "Figure 4", "page", label, "GPUfs MB/s")
 
 		base := params.Scaled(scale)
 		fileBytes := seqFileBytes(&base)
 		blocks := 2 * base.MPsPerGPU
 		res, err := meanMicro(3, func() (*workloads.MicroResult, error) {
-			sys, err := seqSystem(scale, 16<<10, fileBytes)
+			sys, err := seqSystem(scale, pageSize, fileBytes)
 			if err != nil {
 				return nil, err
 			}
@@ -53,10 +57,44 @@ func TestBenchGuardrail(t *testing.T) {
 		}
 		got := float64(res.Throughput) / 1e6
 		if got < 0.90*want {
-			t.Errorf("Fig4 16K sequential read regressed: %.0f MB/s, reference %.0f MB/s (floor 90%%)", got, want)
+			t.Errorf("Fig4 %s sequential read regressed: %.0f MB/s, reference %.0f MB/s (floor 90%%)", label, got, want)
 		}
 		if got > 1.25*want {
-			t.Errorf("Fig4 16K sequential read implausibly fast: %.0f MB/s vs reference %.0f MB/s — timing model change? regenerate BENCH_4.json", got, want)
+			t.Errorf("Fig4 %s sequential read implausibly fast: %.0f MB/s vs reference %.0f MB/s — timing model change? regenerate BENCH_5.json", label, got, want)
+		}
+	}
+	t.Run("Fig4-16K", func(t *testing.T) { fig4(t, 16<<10, "16K") })
+	t.Run("Fig4-32K", func(t *testing.T) { fig4(t, 32<<10, "32K") })
+
+	t.Run("Fig4-32K-vs-BENCH4", func(t *testing.T) {
+		// Cross-reference: the PR-8 zero-copy fill path must leave the 32K
+		// row strictly faster than the committed PR-7 era reference. This
+		// compares the two committed files, so it costs nothing to run.
+		old := loadBenchReference(t, "../../BENCH_4.json")
+		was := old.float(t, "Figure 4", "page", "32K", "GPUfs MB/s")
+		now := ref.float(t, "Figure 4", "page", "32K", "GPUfs MB/s")
+		if now <= was {
+			t.Errorf("Fig4 32K did not improve over the BENCH_4 era: %.0f MB/s now vs %.0f MB/s then", now, was)
+		}
+	})
+
+	t.Run("Contention-8w", func(t *testing.T) {
+		refSpeed := ref.speedup(t, "Contention", "workers×shards", "8", "speedup")
+		floor := 1.3
+		if f := 0.85 * refSpeed; f > floor {
+			floor = f
+		}
+		base, err := contentionPoint(scale, 8, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := contentionPoint(scale, 8, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(base) / float64(fast)
+		if got < floor {
+			t.Errorf("contention 8-worker lock-free speedup regressed: %.2fx, floor %.2fx (reference %.2fx)", got, floor, refSpeed)
 		}
 	})
 

@@ -1,0 +1,162 @@
+// Package epoch implements epoch-based memory reclamation (EBR) for the
+// buffer cache's lock-free radix tree.
+//
+// The problem it solves is the classic one: a lock-free reader may hold a
+// pointer to a node that a writer has just unlinked. Under a garbage
+// collector that is merely a memory-safety question, but GPUfs *recycles*
+// radix leaves through a free pool (a detached leaf is re-published later
+// with a different base offset and different page identities), so a stale
+// reader dereferencing a recycled node would observe a valid-looking leaf
+// for the WRONG file region — not a crash, a silent wrong answer. EBR
+// guarantees a retired node is not handed back to the pool until every
+// reader that could have seen it has left its read-side critical section.
+//
+// The scheme is the standard three-bin design (Fraser 2004; Harris's
+// lock-free lists use the same structure):
+//
+//   - A global epoch counter G advances monotonically. Readers Enter() by
+//     registering in bin G%3 and Exit() by deregistering; the guard is a
+//     few atomic ops, no locks, no syscalls — cheap enough for the
+//     per-page lookup hot path.
+//   - Retire(fn) queues fn on the CURRENT epoch's limbo list.
+//   - The epoch can advance from e to e+1 only when bins (e+1)%3 and
+//     (e+2)%3 are empty — i.e. every active reader entered at epoch e.
+//     At that instant nodes retired at epoch e-2 (sitting in bin (e+1)%3,
+//     about to be reused for e+1) are unreachable by every live reader:
+//     a reader in bin e%3 performed its epoch load after the advance to
+//     e, which happened after the retire, which happened after the
+//     unlink was published. Those callbacks run and the bin is recycled.
+//
+// Advancement is purely opportunistic (TryAdvance never blocks and is
+// piggybacked on Retire), so a stalled reader delays reclamation but
+// never progress — retired nodes simply accumulate in limbo, which is
+// the documented EBR trade-off.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// bins is the number of limbo generations. Three is the minimum that
+// distinguishes "current", "previous" (may still have readers), and
+// "reclaimable" (provably quiescent).
+const bins = 3
+
+// Domain is one independent reclamation domain. Each radix tree owns one,
+// so trees quiesce independently and a stalled scan of one file cannot
+// stall reclamation in another.
+type Domain struct {
+	// global is the current epoch. It only increases.
+	global atomic.Uint64
+	// readers[e%bins] counts the guards that entered at epoch e and have
+	// not exited. Entries for epochs older than global-1 being zero is
+	// exactly the grace-period condition.
+	readers [bins]atomic.Int64
+
+	// mu serializes writers to the limbo lists and epoch advancement.
+	// Readers never take it.
+	mu    sync.Mutex
+	limbo [bins][]func()
+
+	retired atomic.Int64
+	freed   atomic.Int64
+}
+
+// Guard is an active read-side critical section. The zero Guard is
+// invalid; obtain one from Enter and release it with Exit exactly once.
+type Guard struct {
+	d *Domain
+	e uint64
+}
+
+// Enter opens a read-side critical section and pins the current epoch.
+// Hold the guard across any traversal that dereferences nodes reachable
+// from the tree and across any use of node pointers obtained under it.
+func (d *Domain) Enter() Guard {
+	for {
+		e := d.global.Load()
+		d.readers[e%bins].Add(1)
+		// Re-validate: if the epoch advanced between the load and the
+		// registration we may have signed into a bin the advancer already
+		// inspected. Back out and re-register under the new epoch. The
+		// epoch advances at most once while any reader is mid-Enter (the
+		// next advance needs OUR bin empty), so this loop is bounded in
+		// practice to two iterations.
+		if d.global.Load() == e {
+			return Guard{d: d, e: e}
+		}
+		d.readers[e%bins].Add(-1)
+	}
+}
+
+// Exit closes the critical section. Node pointers obtained under the
+// guard must not be dereferenced after Exit.
+func (g Guard) Exit() {
+	g.d.readers[g.e%bins].Add(-1)
+}
+
+// Retire queues free to run once every reader that could hold a reference
+// to the retired object has exited. The caller must have already
+// unlinked the object (made it unreachable from the published structure)
+// BEFORE calling Retire — that store/Retire order is what the grace
+// period argument rests on.
+//
+// free runs with d.mu released but possibly with arbitrary caller locks
+// held (Retire is often called under a tree mutex); it must not acquire
+// locks that order before those.
+func (d *Domain) Retire(free func()) {
+	d.retired.Add(1)
+	d.mu.Lock()
+	e := d.global.Load()
+	d.limbo[e%bins] = append(d.limbo[e%bins], free)
+	d.mu.Unlock()
+	d.TryAdvance()
+}
+
+// TryAdvance attempts one epoch advancement, running the callbacks that
+// became safe. It never blocks on readers: if any non-current bin is
+// occupied it returns false immediately.
+func (d *Domain) TryAdvance() bool {
+	var batch []func()
+	d.mu.Lock()
+	e := d.global.Load()
+	if d.readers[(e+1)%bins].Load() != 0 || d.readers[(e+2)%bins].Load() != 0 {
+		d.mu.Unlock()
+		return false
+	}
+	// Bins e+1 and e+2 are empty, so every active reader entered at epoch
+	// e — after every retirement recorded in bin (e+1)%bins (epoch e-2)
+	// was unlinked. Reclaim that bin and reuse it for epoch e+1.
+	batch = d.limbo[(e+1)%bins]
+	d.limbo[(e+1)%bins] = nil
+	d.global.Store(e + 1)
+	d.mu.Unlock()
+
+	for _, free := range batch {
+		free()
+	}
+	d.freed.Add(int64(len(batch)))
+	return true
+}
+
+// Quiesce drives reclamation to completion while no readers are active:
+// it advances the epoch enough times to drain every limbo bin and
+// reports whether everything retired has been freed. With concurrent
+// readers present it may return false; tests call it after joining all
+// goroutines.
+func (d *Domain) Quiesce() bool {
+	for i := 0; i < bins; i++ {
+		d.TryAdvance()
+	}
+	return d.retired.Load() == d.freed.Load()
+}
+
+// Epoch reports the current global epoch (diagnostics and tests).
+func (d *Domain) Epoch() uint64 { return d.global.Load() }
+
+// Retired reports how many objects have ever been passed to Retire.
+func (d *Domain) Retired() int64 { return d.retired.Load() }
+
+// Freed reports how many retired objects have had their callbacks run.
+func (d *Domain) Freed() int64 { return d.freed.Load() }

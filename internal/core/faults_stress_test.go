@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync/atomic"
 	"testing"
 
@@ -165,6 +166,13 @@ func runFaultStress(t *testing.T, seed int64, shards, workers int, totalInjected
 	// deferred-error protocols.
 	opt.ReadAheadAdaptive = true
 	opt.CleanerWorkers = 1
+	// GPUFS_FAULT_ZEROCOPY=1 (the nightly CI variant) reruns the whole
+	// oracle with the ISSUE 8 hot path on: zero-copy completions landing in
+	// pinned frames and a sharded allocator, under the same fault schedules.
+	if os.Getenv("GPUFS_FAULT_ZEROCOPY") != "" {
+		opt.ZeroCopyRead = true
+		opt.FrameShards = 4
+	}
 	h := newFaultHarness(t, opt, fcfg, shards, workers)
 	fs := h.fss[0]
 	defer func() { totalInjected.Add(h.inj.TotalInjected()) }()

@@ -108,6 +108,18 @@ type Options struct {
 	DisableFastReopen bool
 	// EvictBatch is how many pages one paging pass tries to reclaim.
 	EvictBatch int
+	// ZeroCopyRead makes cache-hit reads serve bytes by aliasing the
+	// pinned page frame (one device-memory pass — the gmmap mechanism)
+	// instead of a two-pass copy through a staging buffer, and makes the
+	// host daemon pread RPC completions directly into the pinned DMA
+	// region (skipping the staging pass on the host memory bus). The flag
+	// also propagates to the client's rpc server. Off restores the
+	// copying path bit-identically.
+	ZeroCopyRead bool
+	// FrameShards is the number of free-list shards in the frame
+	// allocator; lanes hash to shards and steal on empty. Values < 1
+	// select 1 (the single-LIFO allocator, bit-identical to PR 7).
+	FrameShards int
 	// Metrics, when non-nil, attaches this GPU's counters and latency
 	// histograms to the registry. Metrics are observation-only: they
 	// record virtual timestamps already computed by the simulation and
@@ -176,6 +188,12 @@ type FS struct {
 	// page resident, a miss faults it in (the initializer path).
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// zeroCopyReads counts cache-hit page reads served by aliasing the
+	// pinned frame (one device-memory pass) instead of the two-pass copy.
+	// Kept out of CacheStats: the metamorphic suite asserts CacheStats
+	// equality across the ZeroCopyRead knob.
+	zeroCopyReads atomic.Int64
 
 	// gpread_warp accounting (ISSUE 7): calls, warps coalesced into one
 	// descriptor, and total descriptors issued.
@@ -302,10 +320,18 @@ func New(gpuID int, opt Options, client *rpc.Client, mem *memsys.Arena) (*FS, er
 	if opt.EvictBatch <= 0 {
 		opt.EvictBatch = 16
 	}
-	cache, err := pcache.New(mem, opt.CacheBytes, opt.PageSize)
+	if opt.FrameShards < 1 {
+		opt.FrameShards = 1
+	}
+	cache, err := pcache.NewSharded(mem, opt.CacheBytes, opt.PageSize, opt.FrameShards)
 	if err != nil {
 		return nil, err
 	}
+	// The host half of the zero-copy read path lives in the daemon (the
+	// staging pass skipped in gsys/rpc read handlers); every GPU of a
+	// system is built with the same Options, so the per-FS store is
+	// idempotent.
+	client.Server().SetZeroCopyRead(opt.ZeroCopyRead)
 	svc := opt.Syscalls
 	if svc == nil {
 		svc = gsys.NewService(client.Server())
@@ -358,6 +384,9 @@ func (fs *FS) attachMetrics(reg *metrics.Registry) {
 	reg.SetHelp("gpufs_core_host_opens_total", "gopen calls forwarded to the CPU")
 	reg.SetHelp("gpufs_core_closed_reuses_total", "Reopens served from the closed file table")
 	reg.SetHelp("gpufs_core_spec_pending", "Speculative pages resident but not yet consumed")
+	reg.SetHelp("gpufs_core_zero_copy_reads_total", "Cache-hit page reads served in place from the pinned frame")
+	reg.SetHelp("gpufs_core_frame_steals_total", "Frame allocations satisfied by stealing from another shard")
+	reg.SetHelp("gpufs_core_leaf_recycles_total", "Radix leaves reused from the epoch-reclaimed pool")
 
 	reg.CounterFunc("gpufs_core_cache_hits_total", fs.cacheHits.Load, "gpu", gpuL)
 	reg.CounterFunc("gpufs_core_cache_misses_total", fs.cacheMisses.Load, "gpu", gpuL)
@@ -371,6 +400,9 @@ func (fs *FS) attachMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("gpufs_core_host_opens_total", fs.hostOpens.Load, "gpu", gpuL)
 	reg.CounterFunc("gpufs_core_closed_reuses_total", fs.closedReuses.Load, "gpu", gpuL)
 	reg.GaugeFunc("gpufs_core_spec_pending", fs.specPending.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_zero_copy_reads_total", fs.zeroCopyReads.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_frame_steals_total", fs.cache.Steals, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_leaf_recycles_total", fs.leafRecycles, "gpu", gpuL)
 
 	m := &fsMetrics{op: make([]*metrics.Histogram, int(trace.OpPipeClose)+1)}
 	for _, op := range []trace.Op{
@@ -839,6 +871,31 @@ type CacheStats struct {
 	// pre-evicted; CleanerKicks counts cleaner wake-ups.
 	CleanedPages int64
 	CleanerKicks int64
+}
+
+// ZeroCopyReads reports how many cache-hit page reads were served in place
+// from the pinned frame (zero when the ZeroCopyRead knob is off).
+func (fs *FS) ZeroCopyReads() int64 { return fs.zeroCopyReads.Load() }
+
+// FrameSteals reports allocations satisfied by stealing a frame from
+// another shard's free list (0 with a single shard).
+func (fs *FS) FrameSteals() int64 { return fs.cache.Steals() }
+
+// leafRecycles sums recycled-leaf counts across live and closed file
+// caches (metrics collector; recycling only happens under churn).
+func (fs *FS) leafRecycles() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var n int64
+	for _, f := range fs.fds {
+		if f != nil && f.fc != nil {
+			n += f.fc.tree.Recycles()
+		}
+	}
+	for _, fc := range fs.closed {
+		n += fc.tree.Recycles()
+	}
+	return n
 }
 
 // CacheStats snapshots the speculation and cleaning counters.

@@ -24,6 +24,14 @@ func (r pageRef) release() { r.fp.Unref() }
 // lookup attempts, then a locked lookup; initialization and page-out
 // exclude each other through the fpage state machine; and frames reached
 // through stale paths are rejected by identifier validation.
+//
+// Every traversal attempt runs under an epoch guard (radix.Tree.Pin): the
+// guard spans the lookup and every touch of the returned slot, up to the
+// point where a successful TryRef (a Ready slot with a reference pins the
+// leaf against RemoveLeaf) or a successful TryBeginInit + Detached check
+// (an Init slot pins it likewise) makes the leaf's identity stable without
+// it. The guard is dropped before the slow work — frame allocation,
+// eviction, the fill RPC — so a faulting block never delays leaf recycling.
 func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 	fc := f.fc
 	offset := pageIdx * fs.opt.PageSize
@@ -34,6 +42,7 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 			// these retries with the locked accesses.
 			fc.tree.CountRetry()
 		}
+		g := fc.tree.Pin()
 		var fp *radix.FPage
 		var leaf *radix.Node
 		if attempt < 2 && !fs.opt.ForceLockedTraversal {
@@ -62,6 +71,7 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 			if fi >= 0 {
 				fr := fs.cache.Frame(fi)
 				if fr.Matches(fc.tree.ID(), offset) {
+					g.Exit() // the reference now pins the leaf
 					// A read-ahead transfer is usable only once
 					// it completes; synchronous faults were paid
 					// for by the faulting block.
@@ -81,6 +91,7 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 				}
 			}
 			fp.Unref()
+			g.Exit()
 			continue // stale frame; retry
 		}
 
@@ -92,8 +103,12 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 				// Initializing a frame here would strand it on an
 				// unreachable node; retry through a fresh lookup.
 				fp.AbortInit()
+				g.Exit()
 				continue
 			}
+			// The Init claim pins the leaf (RemoveLeaf requires every
+			// slot Empty); drop the guard before the slow fault work.
+			g.Exit()
 			fr, err := fs.allocFrame(b, fc, offset)
 			if err != nil {
 				fp.AbortInit()
@@ -113,6 +128,7 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 
 		// Another block is initializing or evicting this slot; yield
 		// and retry. (Warps multiplex on the MP while blocked, §2.)
+		g.Exit()
 		runtime.Gosched()
 	}
 }
@@ -238,7 +254,17 @@ func (fs *FS) readImpl(b *gpu.Block, fd int, dst []byte, off int64) (int, error)
 			return int(done), err
 		}
 		ref.fr.Lock()
-		b.CopyBytes(dst[done:done+n], ref.fr.Data[inPage:inPage+n])
+		if fs.opt.ZeroCopyRead {
+			// Zero-copy hit: the caller reads the pinned frame in place, so
+			// the only modelled cost is one device-memory pass over the
+			// bytes (the Go copy below just materializes the API contract
+			// that dst owns the data).
+			copy(dst[done:done+n], ref.fr.Data[inPage:inPage+n])
+			b.TouchBytes(n)
+			fs.zeroCopyReads.Add(1)
+		} else {
+			b.CopyBytes(dst[done:done+n], ref.fr.Data[inPage:inPage+n])
+		}
 		ref.fr.Unlock()
 		ref.release()
 		done += n

@@ -73,6 +73,9 @@ func (fs *FS) mmapImpl(b *gpu.Block, fd int, off, length int64) (*Mapping, error
 	if err != nil {
 		return nil, err
 	}
+	// Mark the page mapped (beyond the plain reference): gfsync must leave
+	// it to the application's gmsync while this window is live (Table 1).
+	ref.fp.MapRef()
 	b.Busy(fs.opt.APICostPerPage)
 	// gmmap is page-at-a-time by design (prefix semantics), so it is the
 	// adaptive engine's most important hook: sequential mappers touch one
@@ -103,6 +106,7 @@ func (m *Mapping) munmapImpl(b *gpu.Block) error {
 	}
 	m.valid = false
 	b.Busy(m.fs.opt.APICostPerPage)
+	m.ref.fp.MapUnref()
 	m.ref.release()
 	m.Data = nil
 	return nil
@@ -161,6 +165,8 @@ func (m *Mapping) Write(b *gpu.Block, at int64, data []byte) (int, error) {
 }
 
 // Read copies from the mapping into dst, accounting device-memory cost.
+// Under the ZeroCopyRead knob the mapping is read in place (the mapping IS
+// an alias of the pinned frame), charging one device-memory pass.
 func (m *Mapping) Read(b *gpu.Block, at int64, dst []byte) (int, error) {
 	if !m.valid {
 		return 0, ErrBadMapping
@@ -169,7 +175,14 @@ func (m *Mapping) Read(b *gpu.Block, at int64, dst []byte) (int, error) {
 		return 0, fmt.Errorf("%w: mapping read at %d of %d", ErrInvalid, at, len(m.Data))
 	}
 	m.ref.fr.Lock()
-	n := b.CopyBytes(dst, m.Data[at:])
+	var n int
+	if m.fs.opt.ZeroCopyRead {
+		n = copy(dst, m.Data[at:])
+		b.TouchBytes(int64(n))
+		m.fs.zeroCopyReads.Add(1)
+	} else {
+		n = b.CopyBytes(dst, m.Data[at:])
+	}
 	m.ref.fr.Unlock()
 	return n, nil
 }

@@ -39,7 +39,22 @@ func TestModelConformance(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			runModelSchedule(t, int64(seed))
+			runModelSchedule(t, int64(seed), false)
+		})
+	}
+}
+
+// TestModelConformanceZeroCopy reruns the model suite with the ISSUE 8
+// hot path on (zero-copy hit reads, sharded frame allocator): the knobs
+// change how bytes are served and which free list frames come from, never
+// the close-to-open semantics the model checks.
+func TestModelConformanceZeroCopy(t *testing.T) {
+	const schedules = 100
+	for seed := 0; seed < schedules; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runModelSchedule(t, int64(seed), true)
 		})
 	}
 }
@@ -86,7 +101,7 @@ func (mf *modelFile) openAnywhere() bool {
 	return false
 }
 
-func runModelSchedule(t *testing.T, seed int64) {
+func runModelSchedule(t *testing.T, seed int64, zeroCopy bool) {
 	rng := rand.New(rand.NewSource(seed*7919 + 1))
 	numGPUs := 2 + int(seed%2)
 	numFiles := 2 + rng.Intn(2)
@@ -99,6 +114,10 @@ func runModelSchedule(t *testing.T, seed int64) {
 		APICostPerPage:      7 * simtime.Microsecond,
 		RadixLookupLockFree: 35,
 		RadixLookupLocked:   550,
+	}
+	if zeroCopy {
+		opt.ZeroCopyRead = true
+		opt.FrameShards = 4
 	}
 	h := newHarness(t, numGPUs, opt)
 

@@ -44,7 +44,7 @@ func (fs *FS) allocFrame(b *gpu.Block, fc *fileCache, offset int64) (*pcache.Fra
 	fs.maybeClean(b.Clock.Now())
 	lastAllocs := fs.cache.Allocs()
 	for idle := 0; idle < maxIdleRounds; {
-		if fr := fs.cache.TryAlloc(fc.tree.ID(), offset); fr != nil {
+		if fr := fs.cache.TryAllocOn(b.Idx, fc.tree.ID(), offset); fr != nil {
 			fc.frames.Add(1)
 			return fr, nil
 		}
@@ -76,6 +76,9 @@ func (fs *FS) pagingSummary() string {
 	for _, v := range fs.pickVictims() {
 		refs := 0
 		ready := 0
+		// The guard keeps the snapshotted leaves from being recycled
+		// while we read their slots (see radix.OldestLeaves).
+		g := v.fc.tree.Pin()
 		for _, leaf := range v.fc.tree.OldestLeaves(1 << 20) {
 			for i := 0; i < 64; i++ {
 				p := leaf.Page(i)
@@ -85,6 +88,7 @@ func (fs *FS) pagingSummary() string {
 				refs += int(p.Refs())
 			}
 		}
+		g.Exit()
 		fmt.Fprintf(&b, " %s[class=%d frames=%d ready=%d refs=%d leaves=%d]",
 			v.fc.path, v.class, v.fc.frames.Load(), ready, refs, v.fc.tree.Leaves())
 	}
@@ -183,7 +187,11 @@ func (fs *FS) evictFromFileOn(a evictActor, v victim, target int, dirtyOnly bool
 	// Bound the traversal: we look at enough leaves to cover the target
 	// plus slack for referenced pages. Leaves hold 64 slots each, so
 	// target/64 rounded up covers the target even when every leaf is
-	// full; the +8 is slack for sparse or referenced leaves. The bound is
+	// full; the slack term is 8 leaves PER ALLOCATOR SHARD — with a
+	// sharded frame pool a faulting lane may find its own shard (and the
+	// steal ring) empty while the frames it must reclaim sit behind
+	// referenced leaves, so the slack scales with the shard count to keep
+	// the bound from re-introducing spurious ErrCacheFull. The bound is
 	// advisory, not absolute: if the oldest leaves are entirely hot or
 	// mid-claim (every slot referenced or initializing), a hard cutoff
 	// would reclaim nothing forever while evictable pages sit in younger
@@ -191,8 +199,15 @@ func (fs *FS) evictFromFileOn(a evictActor, v victim, target int, dirtyOnly bool
 	// So the scan runs deeper until it frees at least one page. The
 	// cleaner's dirty-only passes keep the hard bound instead: they may
 	// legitimately find nothing to do, and demand eviction follows anyway.
-	maxLeaves := target/64 + 8
+	maxLeaves := target/64 + 8*fs.cache.Shards()
 	scanned := 0
+	// The epoch guard spans the FIFO snapshot AND its use: leaves this
+	// very loop (or a concurrent pass) detaches must not be recycled
+	// while we still read their slots. Retirement is merely deferred —
+	// RemoveLeaf under our own guard just queues the leaf for the next
+	// grace period.
+	g := fc.tree.Pin()
+	defer g.Exit()
 	for _, leaf := range fc.tree.OldestLeaves(1 << 20) {
 		if scanned >= maxLeaves && (reclaimed > 0 || dirtyOnly) {
 			break

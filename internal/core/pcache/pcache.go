@@ -123,27 +123,56 @@ func (f *Frame) ClearPristine() {
 // Cache is the global frame pool of one GPU: the raw data array plus the
 // pframe array. For efficiency, pages are pre-allocated in one large
 // contiguous device-memory allocation.
+//
+// The free list is SHARDED (ISSUE 8): frame i's home shard is i mod
+// nshards, allocators are steered to a shard by their lane (MP) so demand
+// paging, read-ahead, and the cleaner stop serializing on one freelist
+// mutex, and an empty shard steals from its neighbors before reporting
+// exhaustion — so sharding changes contention, never capacity.
 type Cache struct {
 	pageSize int64
 	raw      *memsys.Block
 	frames   []Frame
 
-	mu   sync.Mutex
-	free []int32 // LIFO free list of frame indexes
+	shards []frameShard
 
 	allocs    atomic.Int64
 	reclaimed atomic.Int64
+	steals    atomic.Int64
 }
 
-// New carves a cache of totalBytes (rounded down to whole pages) out of the
-// given device-memory arena.
+// frameShard is one free-list shard: a LIFO of frame indexes under its own
+// mutex.
+type frameShard struct {
+	mu   sync.Mutex
+	free []int32
+}
+
+// New carves a single-shard cache of totalBytes (rounded down to whole
+// pages) out of the given device-memory arena. With one shard the
+// allocator is ONE LIFO free list handing out frame 0 first — the exact
+// pre-sharding behavior, which the pinned virtual-time baselines rely on.
 func New(mem *memsys.Arena, totalBytes, pageSize int64) (*Cache, error) {
+	return NewSharded(mem, totalBytes, pageSize, 1)
+}
+
+// NewSharded is New with the free list split across nshards shards
+// (values < 1 select 1). Frames are distributed round-robin by index, and
+// each shard's list is built in reverse so its lowest frame index is
+// handed out first.
+func NewSharded(mem *memsys.Arena, totalBytes, pageSize int64, nshards int) (*Cache, error) {
 	if pageSize <= 0 {
 		return nil, fmt.Errorf("pcache: invalid page size %d", pageSize)
 	}
 	n := totalBytes / pageSize
 	if n < 1 {
 		return nil, fmt.Errorf("pcache: cache of %d bytes holds no %d-byte pages", totalBytes, pageSize)
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	if int64(nshards) > n {
+		nshards = int(n)
 	}
 	raw, err := mem.Alloc(n*pageSize, pageSize)
 	if err != nil {
@@ -153,7 +182,7 @@ func New(mem *memsys.Arena, totalBytes, pageSize int64) (*Cache, error) {
 		pageSize: pageSize,
 		raw:      raw,
 		frames:   make([]Frame, n),
-		free:     make([]int32, 0, n),
+		shards:   make([]frameShard, nshards),
 	}
 	for i := int64(0); i < n; i++ {
 		f := &c.frames[i]
@@ -161,9 +190,11 @@ func New(mem *memsys.Arena, totalBytes, pageSize int64) (*Cache, error) {
 		f.Data = raw.Data[i*pageSize : (i+1)*pageSize : (i+1)*pageSize]
 		f.Offset.Store(-1)
 	}
-	// Free list in reverse so frame 0 is handed out first.
+	// Each shard's free list in reverse so its lowest frame index is on
+	// top (with one shard: frame 0 is handed out first, as before).
 	for i := int32(n) - 1; i >= 0; i-- {
-		c.free = append(c.free, i)
+		s := &c.shards[int(i)%nshards]
+		s.free = append(s.free, i)
 	}
 	return c, nil
 }
@@ -177,12 +208,25 @@ func (c *Cache) PageSize() int64 { return c.pageSize }
 // NumFrames reports the total frame count.
 func (c *Cache) NumFrames() int { return len(c.frames) }
 
-// FreeFrames reports how many frames are currently unallocated.
+// FreeFrames reports how many frames are currently unallocated, summed
+// across shards.
 func (c *Cache) FreeFrames() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.free)
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.free)
+		s.mu.Unlock()
+	}
+	return total
 }
+
+// Shards reports the number of free-list shards.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Steals reports how many allocations were satisfied by stealing from a
+// non-home shard (contention diagnostics).
+func (c *Cache) Steals() int64 { return c.steals.Load() }
 
 // Allocs reports the cumulative number of frame allocations.
 func (c *Cache) Allocs() int64 { return c.allocs.Load() }
@@ -217,18 +261,42 @@ func (c *Cache) RawOffset(i int32) int64 { return int64(i) * c.pageSize }
 // TryAlloc pops a free frame and stamps it with the owner's identity.
 // It returns nil if no frame is free — the caller must then run the paging
 // algorithm (eviction is performed by the calling thread; GPUfs has no
-// daemon threads, §4.2).
+// daemon threads, §4.2). Unhinted callers allocate from shard 0.
 func (c *Cache) TryAlloc(fileID uint64, offset int64) *Frame {
-	c.mu.Lock()
-	if len(c.free) == 0 {
-		c.mu.Unlock()
+	return c.TryAllocOn(0, fileID, offset)
+}
+
+// TryAllocOn is TryAlloc steered by a lane hint: the allocation is served
+// from the shard the lane hashes to, falling back to stealing from the
+// other shards in ring order when the home shard is empty. Returns nil
+// only when EVERY shard is empty — a pinned-up home shard alone never
+// produces a spurious cache-full.
+func (c *Cache) TryAllocOn(lane int, fileID uint64, offset int64) *Frame {
+	n := len(c.shards)
+	if lane < 0 {
+		lane = -lane
+	}
+	home := lane % n
+	var idx int32 = -1
+	for d := 0; d < n; d++ {
+		s := &c.shards[(home+d)%n]
+		s.mu.Lock()
+		if k := len(s.free); k > 0 {
+			idx = s.free[k-1]
+			s.free = s.free[:k-1]
+			s.mu.Unlock()
+			if d > 0 {
+				c.steals.Add(1)
+			}
+			break
+		}
+		s.mu.Unlock()
+	}
+	if idx < 0 {
 		return nil
 	}
-	i := c.free[len(c.free)-1]
-	c.free = c.free[:len(c.free)-1]
-	c.mu.Unlock()
 
-	f := &c.frames[i]
+	f := &c.frames[idx]
 	f.FileID.Store(fileID)
 	f.Offset.Store(offset)
 	f.ValidBytes.Store(0)
@@ -254,10 +322,11 @@ func (c *Cache) ResetTimes() {
 	}
 }
 
-// Release returns a frame to the free list, clearing its identity so any
-// stale lock-free reader fails validation. reclaimedByPaging distinguishes
-// eviction-driven releases (counted in Reclaimed) from releases on unlink
-// or truncate.
+// Release returns a frame to its HOME shard's free list (index mod shard
+// count — keeping each shard's frame population stable under churn),
+// clearing its identity so any stale lock-free reader fails validation.
+// reclaimedByPaging distinguishes eviction-driven releases (counted in
+// Reclaimed) from releases on unlink or truncate.
 func (c *Cache) Release(f *Frame, reclaimedByPaging bool) {
 	f.FileID.Store(0)
 	f.Offset.Store(-1)
@@ -267,7 +336,8 @@ func (c *Cache) Release(f *Frame, reclaimedByPaging bool) {
 	if reclaimedByPaging {
 		c.reclaimed.Add(1)
 	}
-	c.mu.Lock()
-	c.free = append(c.free, f.Index)
-	c.mu.Unlock()
+	s := &c.shards[int(f.Index)%len(c.shards)]
+	s.mu.Lock()
+	s.free = append(s.free, f.Index)
+	s.mu.Unlock()
 }

@@ -20,15 +20,26 @@
 //     structures, minimizing pointer traversal), and last-level nodes are
 //     threaded onto a doubly-linked FIFO list used by the paging algorithm.
 //
-// Memory reclamation safety comes from Go's garbage collector, which plays
-// the role the original's in-place arenas and identifier checks play on the
-// GPU: a reader holding a detached node can never observe freed memory,
-// only stale content, which identifier validation rejects.
+// Memory reclamation is epoch-based (internal/core/epoch), playing the
+// role the original's in-place arenas play on the GPU. Detached leaves are
+// RECYCLED through a per-tree pool — republished later with a different
+// base offset and fresh page identities — so "the GC keeps stale pointers
+// alive" is no longer a safety argument: a reader still holding a pointer
+// to a recycled leaf would observe a valid-looking node for the wrong file
+// region. Instead, every traversal runs under an epoch guard (Pin/Exit),
+// RemoveLeaf retires the detached leaf to the epoch domain, and the leaf
+// only reaches the recycle pool after a grace period proves no guard from
+// before the unlink survives. Readers that CLAIM a slot (TryBeginInit) or
+// hold a page reference (TryRef) pin the leaf beyond the guard: RemoveLeaf
+// refuses to detach a leaf with any non-Empty slot, so a held reference
+// keeps the leaf out of the pool regardless of epochs.
 package radix
 
 import (
 	"sync"
 	"sync/atomic"
+
+	"gpufs/internal/core/epoch"
 )
 
 // Fanout configuration: 6 bits per level, 64-way nodes.
@@ -46,6 +57,7 @@ const (
 type FPage struct {
 	state atomic.Int32
 	refs  atomic.Int32
+	maps  atomic.Int32 // live gmmap windows onto the page
 	frame atomic.Int32 // pframe index, or -1
 }
 
@@ -110,6 +122,25 @@ func (p *FPage) Unref() {
 	p.refs.Add(-1)
 }
 
+// MapRef records a live gmmap window onto the page, on top of the plain
+// reference the mapping already holds. gfsync consults this — not the raw
+// reference count — to decide which pages it must leave alone: mapped
+// pages are the application's to gmsync (Table 1), while a page that is
+// merely referenced by an in-flight gread/gwrite or a concurrent gfsync
+// is safe to write back (the frame snapshot protocol tolerates racing
+// writers).
+func (p *FPage) MapRef() {
+	p.maps.Add(1)
+}
+
+// MapUnref drops a MapRef at gmunmap.
+func (p *FPage) MapUnref() {
+	p.maps.Add(-1)
+}
+
+// Mapped reports whether any gmmap window onto the page is live.
+func (p *FPage) Mapped() bool { return p.maps.Load() > 0 }
+
 // TryEvict attempts to transition a Ready, unreferenced slot to Evicting.
 // On success the caller owns the frame and must call FinishEvict once the
 // frame is released. Fails if any reference is held.
@@ -171,6 +202,21 @@ type Tree struct {
 	fifoTail atomic.Pointer[Node]
 	leaves   int
 
+	// dom is the tree's epoch-reclamation domain. Every lock-free
+	// traversal runs under one of its guards; RemoveLeaf retires detached
+	// leaves into it. Per-tree domains keep one file's stalled scan from
+	// delaying another file's reclamation.
+	dom epoch.Domain
+
+	// poolMu guards the recycle pool of grace-period-expired leaves.
+	// Deliberately separate from mu: retire callbacks run inside
+	// epoch-domain advancement, which Retire triggers while mu is held —
+	// lock order is mu → dom.mu → poolMu, and callbacks only ever take
+	// poolMu.
+	poolMu   sync.Mutex
+	pool     []*Node
+	recycles atomic.Int64
+
 	// forceLocked makes every lookup take the tree lock — the comparison
 	// baseline of Figure 7.
 	forceLocked atomic.Bool
@@ -189,6 +235,21 @@ func NewTree() *Tree {
 // ID reports the tree's unique identifier, which owners propagate to every
 // page frame referenced by the tree.
 func (t *Tree) ID() uint64 { return t.id }
+
+// Pin opens an epoch guard on the tree's reclamation domain. Callers must
+// hold a guard across any lock-free traversal AND across every use of the
+// *FPage / *Node pointers it produced: Lookup, LookupLocked, Insert,
+// OldestLeaves results, and FIFO walks. Exit the guard before blocking
+// operations (frame allocation, RPC waits) — a held guard never blocks
+// writers, but it does delay leaf recycling.
+func (t *Tree) Pin() epoch.Guard { return t.dom.Enter() }
+
+// EpochDomain exposes the reclamation domain (tests and stats).
+func (t *Tree) EpochDomain() *epoch.Domain { return &t.dom }
+
+// Recycles reports how many detached leaves survived their grace period
+// and were reused by a later Insert.
+func (t *Tree) Recycles() int64 { return t.recycles.Load() }
 
 // SetForceLocked switches the tree into locked-traversal mode (Figure 7's
 // baseline).
@@ -225,7 +286,7 @@ func capacityForHeight(h int32) uint64 {
 // covering idx, or nil if the path is not materialized. The walk is guided
 // by each node's own immutable level field rather than the tree's height,
 // so a reader racing with a root swap always follows a self-consistent
-// path.
+// path. The caller must hold an epoch guard.
 func (t *Tree) lookupLeaf(idx uint64) *Node {
 	n := t.root.Load()
 	if n == nil || idx >= capacityForHeight(n.level) {
@@ -239,9 +300,10 @@ func (t *Tree) lookupLeaf(idx uint64) *Node {
 }
 
 // Lookup performs one lock-free lookup attempt and returns the fpage slot
-// for page idx, or nil if absent. The caller must validate the attached
-// frame (tree id + offset) and is responsible for the retry protocol; use
-// LookupLocked as the final fallback.
+// for page idx, or nil if absent. The caller must hold an epoch guard
+// (Pin), must validate the attached frame (tree id + offset), and is
+// responsible for the retry protocol; use LookupLocked as the final
+// fallback.
 func (t *Tree) Lookup(idx uint64) *FPage {
 	p, _ := t.LookupLeaf(idx)
 	return p
@@ -263,7 +325,9 @@ func (t *Tree) LookupLeaf(idx uint64) (*FPage, *Node) {
 }
 
 // LookupLocked performs a lookup under the tree lock: the third-attempt
-// fallback of the retry protocol.
+// fallback of the retry protocol. The lock orders the walk against
+// concurrent mutation, but the result outlives it — callers still hold an
+// epoch guard across use of the returned slot.
 func (t *Tree) LookupLocked(idx uint64) *FPage {
 	p, _ := t.LookupLockedLeaf(idx)
 	return p
@@ -284,14 +348,17 @@ func (t *Tree) LookupLockedLeaf(idx uint64) (*FPage, *Node) {
 // Insert materializes (if needed) and returns the fpage slot for page idx,
 // along with its leaf. Updates are locked; all node fields are initialized
 // before publication so concurrent lock-free readers always observe
-// consistent nodes.
+// consistent nodes. Callers hold an epoch guard across the use of the
+// returned slot, entered BEFORE Insert — the guard is what keeps a leaf
+// detached-and-recycled by a racing RemoveLeaf from changing identity
+// under the caller's claim check.
 func (t *Tree) Insert(idx uint64) (*FPage, *Node) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
 	if t.root.Load() == nil {
 		if idx < fanout {
-			leaf := t.newLeafLocked(0, 0)
+			leaf := t.newLeafLocked(0)
 			t.root.Store(leaf)
 			t.height.Store(0)
 			return &leaf.pages[idx&levelMask], leaf
@@ -322,7 +389,7 @@ func (t *Tree) Insert(idx uint64) (*FPage, *Node) {
 		child := n.children[slot].Load()
 		if child == nil {
 			if lvl == 1 {
-				child = t.newLeafLocked(idx&^uint64(levelMask), 0)
+				child = t.newLeafLocked(idx &^ uint64(levelMask))
 			} else {
 				child = &Node{level: lvl - 1}
 			}
@@ -333,12 +400,40 @@ func (t *Tree) Insert(idx uint64) (*FPage, *Node) {
 	return &n.pages[idx&levelMask], n
 }
 
-// newLeafLocked allocates a leaf, initializes its fpages, and pushes it on
-// the FIFO head. The tree lock must be held.
-func (t *Tree) newLeafLocked(base uint64, _ int32) *Node {
-	leaf := &Node{level: 0, base: base}
-	for i := range leaf.pages {
-		leaf.pages[i].frame.Store(-1)
+// newLeafLocked produces a leaf — reusing a grace-period-expired one from
+// the recycle pool when available — initializes its fpages, and pushes it
+// on the FIFO head. The tree lock must be held.
+func (t *Tree) newLeafLocked(base uint64) *Node {
+	var leaf *Node
+	t.poolMu.Lock()
+	if n := len(t.pool); n > 0 {
+		leaf = t.pool[n-1]
+		t.pool[n-1] = nil
+		t.pool = t.pool[:n-1]
+	}
+	t.poolMu.Unlock()
+	if leaf != nil {
+		// Fully re-initialize before republication: the epoch grace period
+		// guarantees no reader still holds this node, so plain resets are
+		// race-free, but every field a reader consults must be rebuilt —
+		// a recycled leaf is a brand-new identity.
+		t.recycles.Add(1)
+		leaf.base = base
+		leaf.detached.Store(false)
+		leaf.fifoNext.Store(nil)
+		leaf.fifoPrev.Store(nil)
+		for i := range leaf.pages {
+			p := &leaf.pages[i]
+			p.state.Store(slotEmpty)
+			p.refs.Store(0)
+			p.maps.Store(0)
+			p.frame.Store(-1)
+		}
+	} else {
+		leaf = &Node{level: 0, base: base}
+		for i := range leaf.pages {
+			leaf.pages[i].frame.Store(-1)
+		}
 	}
 	// Push on FIFO head (newest first).
 	old := t.fifoHead.Load()
@@ -363,7 +458,10 @@ func (t *Tree) Leaves() int {
 
 // OldestLeaves performs a lock-free traversal of the FIFO list from the
 // tail (oldest allocations first) and returns up to max leaves. The paging
-// algorithm uses this to pick reclamation victims without blocking readers.
+// algorithm uses this to pick reclamation victims without blocking
+// readers. The caller must hold an epoch guard across BOTH the call and
+// every use of the returned leaves — a leaf detached mid-scan must not be
+// recycled into a different identity while the victim walk still holds it.
 func (t *Tree) OldestLeaves(max int) []*Node {
 	var out []*Node
 	for n := t.fifoTail.Load(); n != nil && len(out) < max; n = n.fifoPrev.Load() {
@@ -374,23 +472,31 @@ func (t *Tree) OldestLeaves(max int) []*Node {
 	return out
 }
 
-// RemoveLeaf detaches a fully-evicted leaf from the tree and the FIFO list.
-// Concurrent lock-free readers may still reach the detached leaf; its empty
+// RemoveLeaf detaches a fully-evicted leaf from the tree and the FIFO list,
+// then retires it to the epoch domain; after a grace period it lands in the
+// recycle pool for reuse by a later Insert. Concurrent lock-free readers
+// may still reach the detached leaf until their guards exit; its empty
 // fpages and the frame identifier check make such reads fail harmlessly.
 //
 // Readers that CLAIM a slot (TryBeginInit) are the dangerous case: a claim
 // on a leaf detached an instant later would initialize a frame on an
 // unreachable node, leaking it. The two sides run a store-then-verify
-// (Dekker-style) protocol over sequentially consistent atomics:
+// (Dekker-style) protocol over sequentially consistent atomics — now
+// layered on epochs, which add the guarantee that the leaf a claimant is
+// racing on cannot be REUSED (base rewritten, slots reset) while the
+// claimant's guard is live:
 //
 //   - RemoveLeaf publishes detached=true FIRST, then verifies every slot is
 //     still Empty; any non-Empty slot rolls the detach back.
-//   - Claimants CAS Empty→Init FIRST, then check leaf.Detached(); if set,
-//     they AbortInit and retry through a fresh lookup.
+//   - Claimants, under an epoch guard, CAS Empty→Init FIRST, then check
+//     leaf.Detached(); if set, they AbortInit and retry through a fresh
+//     lookup.
 //
 // Whatever the interleaving, at least one side observes the other: a claim
 // that survives implies the verify saw Init (detach rolled back); a
-// completed detach implies every later claimant sees detached=true.
+// completed detach implies every later claimant sees detached=true. The
+// unlink stores below are all published before Retire, so a guard entered
+// after the grace period cannot reach the retired leaf at all.
 func (t *Tree) RemoveLeaf(leaf *Node) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -446,11 +552,24 @@ func (t *Tree) RemoveLeaf(leaf *Node) {
 			}
 		}
 	}
+
+	// Every pointer to the leaf is now unpublished; retire it. The pool
+	// push runs only after the grace period (lock order: mu → dom.mu →
+	// poolMu — the callback never touches mu).
+	t.dom.Retire(func() {
+		t.poolMu.Lock()
+		t.pool = append(t.pool, leaf)
+		t.poolMu.Unlock()
+	})
 }
 
 // ForEachReadyPage calls fn for every Ready slot in the tree (best-effort,
-// lock-free; used by gfsync to find dirty pages and by tests).
+// lock-free; used by gfsync to find dirty pages and by tests). The walk
+// runs under its own epoch guard, which also covers fn — a leaf detached
+// mid-walk keeps its identity until fn returns.
 func (t *Tree) ForEachReadyPage(fn func(idx uint64, p *FPage) bool) {
+	g := t.Pin()
+	defer g.Exit()
 	for n := t.fifoTail.Load(); n != nil; n = n.fifoPrev.Load() {
 		if n.detached.Load() {
 			continue

@@ -1,0 +1,146 @@
+package radix
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestEpochReclamationStress is the ISSUE 8 reclamation-safety suite: for
+// 200 seeds, goroutines race lookups, inserts, claim/evict cycles, and leaf
+// detachment over a small index space — exactly the operation mix of the
+// buffer-cache hot path — while the epoch domain retires and recycles
+// leaves underneath them. Run under -race this exercises the
+// publish/unlink/retire edges; after each seed the domain must quiesce with
+// every retired leaf freed (no leaks), and recycled leaves must have come
+// back fully reset (checked implicitly: a stale Ready slot or dangling
+// frame index would break the claim protocol's invariants below).
+func TestEpochReclamationStress(t *testing.T) {
+	const (
+		seeds      = 200
+		goroutines = 4
+		opsPerG    = 250
+		indexSpace = 4 * 64 // 4 leaves' worth of slots
+	)
+	for seed := 0; seed < seeds; seed++ {
+		tr := NewTree()
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(seed*1000 + g)))
+				for op := 0; op < opsPerG; op++ {
+					idx := uint64(rng.Intn(indexSpace))
+					switch rng.Intn(10) {
+					case 0, 1, 2: // lookup under a guard (the read hot path)
+						guard := tr.Pin()
+						fp, leaf := tr.LookupLeaf(idx)
+						if fp != nil {
+							if fp.TryRef() {
+								if fi := fp.Frame(); fi < 0 {
+									t.Errorf("seed %d: Ready slot %d with no frame", seed, idx)
+								}
+								fp.Unref()
+							}
+							_ = leaf.Detached()
+						}
+						guard.Exit()
+					case 3, 4, 5: // insert + claim + publish (the fault path)
+						guard := tr.Pin()
+						fp, leaf := tr.Insert(idx)
+						if !fp.TryBeginInit() {
+							guard.Exit()
+							continue
+						}
+						if leaf.Detached() {
+							fp.AbortInit()
+							guard.Exit()
+							continue
+						}
+						guard.Exit()
+						fp.FinishInit(int32(idx%64) + 1)
+						fp.Unref()
+					case 6, 7: // evict (the paging path)
+						guard := tr.Pin()
+						fp, _ := tr.LookupLeaf(idx)
+						if fp == nil || !fp.TryEvict() {
+							guard.Exit()
+							continue
+						}
+						guard.Exit()
+						fp.FinishEvict()
+					default: // detach empty leaves (the reclamation path)
+						guard := tr.Pin()
+						for _, leaf := range tr.OldestLeaves(8) {
+							empty := true
+							for i := 0; i < 64; i++ {
+								if !leaf.Page(i).Empty() {
+									empty = false
+									break
+								}
+							}
+							if empty {
+								tr.RemoveLeaf(leaf)
+							}
+						}
+						guard.Exit()
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		dom := tr.EpochDomain()
+		if !dom.Quiesce() {
+			t.Fatalf("seed %d: leak — retired %d leaves, freed %d",
+				seed, dom.Retired(), dom.Freed())
+		}
+	}
+}
+
+// TestEpochRecycledLeafReset checks a leaf that went through
+// detach→retire→recycle comes back pristine: no stale Ready slots, frames,
+// refs, or FIFO links from its previous life.
+func TestEpochRecycledLeafReset(t *testing.T) {
+	tr := NewTree()
+	fp, leaf := tr.Insert(64)
+	if !fp.TryBeginInit() {
+		t.Fatal("claim failed")
+	}
+	fp.FinishInit(7)
+	fp.Unref()
+	if !fp.TryEvict() {
+		t.Fatal("evict failed")
+	}
+	fp.FinishEvict()
+	tr.RemoveLeaf(leaf)
+	if !tr.EpochDomain().Quiesce() {
+		t.Fatal("retired leaf not freed after quiescence")
+	}
+
+	// The next insert on the same range must reuse the pooled leaf…
+	fp2, leaf2 := tr.Insert(64)
+	if tr.Recycles() != 1 {
+		t.Fatalf("Recycles() = %d, want 1", tr.Recycles())
+	}
+	if leaf2 != leaf {
+		t.Fatal("pooled leaf was not reused")
+	}
+	// …fully reset.
+	if leaf2.Detached() {
+		t.Error("recycled leaf still marked detached")
+	}
+	for i := 0; i < 64; i++ {
+		p := leaf2.Page(i)
+		if !p.Empty() || p.Refs() != 0 || p.Frame() != -1 {
+			t.Errorf("slot %d not reset: ready=%v refs=%d frame=%d",
+				i, p.Ready(), p.Refs(), p.Frame())
+		}
+	}
+	if !fp2.TryBeginInit() {
+		t.Error("recycled slot not claimable")
+	} else {
+		fp2.AbortInit()
+	}
+}

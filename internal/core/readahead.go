@@ -287,11 +287,13 @@ func (fs *FS) adaptiveReadAhead(b *gpu.Block, f *file, first, last int64) {
 // report a flattering hit rate the engine didn't earn.
 func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64, spec bool) bool {
 	fc := f.fc
+	g := fc.tree.Pin()
 	fp, leaf := fc.tree.LookupLeaf(uint64(pageIdx))
 	if fp == nil {
 		fp, leaf = fc.tree.Insert(uint64(pageIdx))
 	}
 	if !fp.TryBeginInit() {
+		g.Exit()
 		return false // resident, in flight, or evicting: nothing to do
 	}
 	if leaf.Detached() {
@@ -300,10 +302,12 @@ func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64, spec bool) bool
 		// cache drop — it would leak until process exit. Speculative
 		// reads just give up.
 		fp.AbortInit()
+		g.Exit()
 		return false
 	}
+	g.Exit() // the Init claim pins the leaf (see getPage)
 
-	fr := fs.cache.TryAlloc(fc.tree.ID(), pageIdx*fs.opt.PageSize)
+	fr := fs.cache.TryAllocOn(b.Idx, fc.tree.ID(), pageIdx*fs.opt.PageSize)
 	if fr == nil {
 		// No free frame: speculative reads never trigger eviction.
 		fp.AbortInit()
@@ -424,22 +428,26 @@ func (fs *FS) spanFetch(b *gpu.Block, f *file, start, count int64, spec bool, cl
 
 	for i := int64(0); i < count; i++ {
 		idx := start + i
+		g := fc.tree.Pin()
 		fp, leaf := fc.tree.LookupLeaf(uint64(idx))
 		if fp == nil {
 			fp, leaf = fc.tree.Insert(uint64(idx))
 		}
 		if !fp.TryBeginInit() {
+			g.Exit()
 			b.Busy(fs.probeCost())
 			flush()
 			continue
 		}
 		if leaf.Detached() {
 			fp.AbortInit()
+			g.Exit()
 			b.Busy(fs.probeCost())
 			flush()
 			continue
 		}
-		fr := fs.cache.TryAlloc(fc.tree.ID(), idx*ps)
+		g.Exit() // the Init claim pins the leaf (see getPage)
+		fr := fs.cache.TryAllocOn(b.Idx, fc.tree.ID(), idx*ps)
 		if fr == nil {
 			fp.AbortInit()
 			flush()

@@ -87,10 +87,13 @@ func (fs *FS) refreshGenerationOn(lane *gsys.Client, clk *simtime.Clock, fc *fil
 }
 
 // Fsync implements gfsync: it synchronously writes back to the host every
-// dirty page of the file that is not currently memory-mapped or being
-// accessed by a concurrent gread/gwrite (Table 1). It does not force the
-// host to push the data to disk; see FsyncDisk for the stable-storage
-// variant.
+// dirty page of the file that is not currently memory-mapped (Table 1 —
+// mapped pages are the application's to gmsync). Pages merely referenced
+// by a concurrent gread/gwrite or another block's gfsync ARE written
+// back: the frame snapshot protocol makes that race-free, and skipping
+// them would let this gfsync return success while the caller's own dirty
+// bytes silently stay behind. It does not force the host to push the data
+// to disk; see FsyncDisk for the stable-storage variant.
 func (fs *FS) fsyncImpl(b *gpu.Block, fd int) error {
 	f, err := fs.lookupFd(fd)
 	if err != nil {
@@ -130,8 +133,8 @@ func (fs *FS) fsyncRangeImpl(b *gpu.Block, fd int, off, n int64) error {
 	return err
 }
 
-// syncFile writes back dirty, unreferenced pages intersecting [off,
-// off+n); n < 0 means the whole file.
+// syncFile writes back dirty, unmapped pages intersecting [off, off+n);
+// n < 0 means the whole file.
 func (fs *FS) syncFile(b *gpu.Block, fc *fileCache, hostFd int64, off, n int64) error {
 	var firstErr error
 	wrote := false
@@ -143,9 +146,15 @@ func (fs *FS) syncFile(b *gpu.Block, fc *fileCache, hostFd int64, off, n int64) 
 				return true // outside the requested range
 			}
 		}
-		if p.Refs() > 0 {
-			// Mapped or mid-access; the application must gmsync such
-			// pages itself (Table 1).
+		if p.Mapped() {
+			// Memory-mapped; the application must gmsync such pages
+			// itself (Table 1). A plain reference (mid-gread/gwrite, or a
+			// concurrent gfsync) does NOT exempt the page: write-back
+			// snapshots under the frame lock and clears the dirty flag
+			// before snapshotting, so a racing writer's bytes either ship
+			// now or re-dirty the page for its own gfsync — whereas
+			// skipping here would silently break the durability contract
+			// for whichever block gfsyncs while another is mid-flight.
 			return true
 		}
 		if !p.TryRef() {

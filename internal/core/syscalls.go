@@ -285,10 +285,21 @@ func (fs *FS) warpSpanRead(b *gpu.Block, f *file, warp []WarpReq) (int64, error)
 			if c > n-copied {
 				c = n - copied
 			}
-			b.CopyBytes(warp[ri].Dst[rOff:rOff+int(c)],
-				ref.fr.Data[inPage+copied:inPage+copied+c])
+			if fs.opt.ZeroCopyRead {
+				// Zero-copy hit: warp lanes read the pinned frame in
+				// place (one device-memory pass); see readImpl.
+				copy(warp[ri].Dst[rOff:rOff+int(c)],
+					ref.fr.Data[inPage+copied:inPage+copied+c])
+				b.TouchBytes(c)
+			} else {
+				b.CopyBytes(warp[ri].Dst[rOff:rOff+int(c)],
+					ref.fr.Data[inPage+copied:inPage+copied+c])
+			}
 			rOff += int(c)
 			copied += c
+		}
+		if fs.opt.ZeroCopyRead {
+			fs.zeroCopyReads.Add(1)
 		}
 		ref.fr.Unlock()
 		ref.release()

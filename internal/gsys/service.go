@@ -17,6 +17,9 @@ import (
 // handler bodies mirror the rpc protocol layer's exactly — same staging
 // copies, same link charges, same host-fs calls on the same clocks — so
 // routing the existing file API through the table is timing-identical.
+// Both layers consult the server's ZeroCopyRead flag the same way, so the
+// zero-copy read path (pread into pinned frames, ChargePinned) stays
+// mirrored too.
 
 // Reply carries a syscall's typed results back to the issuing client.
 // Result scalars ride the response slot; bulk data never does (it is
@@ -123,6 +126,17 @@ func (s *Service) sysRead(c *call, cclk *simtime.Clock) (simtime.Time, error) {
 	if err != nil {
 		return 0, err
 	}
+	if s.srv.ZeroCopyRead() {
+		// Zero-copy (ISSUE 8): the daemon preads straight into the pinned
+		// page frame the GPU supplied, so the DMA charge skips the staging
+		// pass on the host memory bus.
+		n, err := c.cli.rpc.ReadFull(cclk, f, c.dst, int64(c.fr.Args[1]))
+		if err != nil {
+			return 0, err
+		}
+		c.reply.N = n
+		return c.cli.rpc.Link().ChargePinned(cclk.Now(), pcie.HostToDevice, int64(n)), nil
+	}
 	staging := make([]byte, len(c.dst)) // pinned staging buffer
 	n, err := c.cli.rpc.ReadFull(cclk, f, staging, int64(c.fr.Args[1]))
 	if err != nil {
@@ -162,6 +176,13 @@ func (s *Service) sysReadVec(c *call, cclk *simtime.Clock) (simtime.Time, error)
 		got += take
 	}
 	c.reply.Ns = ns
+	if s.srv.ZeroCopyRead() {
+		// Zero-copy: the host read is a preadv over an iovec of pinned
+		// frames (the staging slice above is only this simulation's
+		// scattering mechanism, not a modelled copy), so the vectored DMA
+		// skips the staging pass.
+		return c.cli.rpc.Link().ChargeScatterPinned(cclk.Now(), pcie.HostToDevice, int64(n), len(c.dsts)), nil
+	}
 	return c.cli.rpc.Link().ChargeScatter(cclk.Now(), pcie.HostToDevice, int64(n), len(c.dsts)), nil
 }
 

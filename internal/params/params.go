@@ -155,6 +155,21 @@ type Config struct {
 	// full host RPC path (ablation of the §4.1 closed-table
 	// optimization).
 	DisableFastReopen bool
+	// ZeroCopyRead serves buffer-cache hits and lands RPC read completions
+	// directly in pinned page frames instead of copying through a staging
+	// buffer: a cache-hit gread/gpread_warp charges one device-memory pass
+	// (the application's own read of the aliased frame, the gmmap
+	// mechanism) rather than a two-pass copy, and the host daemon preads
+	// straight into the pinned DMA region, skipping the staging pass on
+	// the host memory bus. On by default; false restores the copying read
+	// path bit-identically (the PR-7 pinned baselines set it off).
+	ZeroCopyRead bool
+	// FrameShards is the number of free-list shards in the per-GPU frame
+	// allocator. Lanes (threadblocks, cleaner workers) allocate from the
+	// shard they hash to and steal from neighbors when it is empty. 0
+	// (the default) auto-sizes to the GPU's multiprocessor count; 1 is
+	// the single-LIFO pre-sharding allocator, preserved bit-identically.
+	FrameShards int
 	// MetricsEnabled attaches a metrics registry (internal/metrics) to
 	// the system: per-op latency histograms and counters across the rpc,
 	// pcie, core, and serve subsystems, exportable as Prometheus text or
@@ -234,6 +249,8 @@ func Default() Config {
 		RPCHandleCost:       12 * simtime.Microsecond,
 		ReadAheadAdaptive:   true,
 		CleanerWorkers:      1,
+		ZeroCopyRead:        true,
+		FrameShards:         0, // auto: one shard per multiprocessor
 
 		GPUFlops: 18e9,
 		CPUFlops: 9e9,
@@ -323,6 +340,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("params: DaemonWorkers must be >= 0, got %d", c.DaemonWorkers)
 	case c.CleanerWorkers < 0:
 		return fmt.Errorf("params: CleanerWorkers must be >= 0, got %d", c.CleanerWorkers)
+	case c.FrameShards < 0:
+		return fmt.Errorf("params: FrameShards must be >= 0 (0 = auto), got %d", c.FrameShards)
 	case c.SyscallOrdering != "" && c.SyscallOrdering != "strong" && c.SyscallOrdering != "relaxed":
 		return fmt.Errorf("params: SyscallOrdering must be \"\", \"strong\", or \"relaxed\", got %q", c.SyscallOrdering)
 	case c.Scale <= 0:

@@ -163,18 +163,43 @@ func (l *Link) Copy(now simtime.Time, dir Direction, dst, src []byte) (simtime.T
 // read-ahead uses this so a vectored transfer amortizes — but does not
 // erase — the per-page transfer cost that separates Figure 4's page sizes.
 func (l *Link) ChargeScatter(now simtime.Time, dir Direction, n int64, segs int) simtime.Time {
+	return l.Charge(l.scatterSetup(now, segs), dir, n)
+}
+
+// ChargeScatterPinned is ChargeScatter for zero-copy transfers (see
+// ChargePinned): the staging pass through host DRAM is skipped.
+func (l *Link) ChargeScatterPinned(now simtime.Time, dir Direction, n int64, segs int) simtime.Time {
+	return l.ChargePinned(l.scatterSetup(now, segs), dir, n)
+}
+
+// scatterSetup accounts the scatter-gather descriptor surcharge shared by
+// both scatter variants.
+func (l *Link) scatterSetup(now simtime.Time, segs int) simtime.Time {
 	if m := l.met; m != nil {
 		m.scatterSegs.Add(int64(segs))
 	}
 	if segs > 1 && !l.bus.exclude.Load() {
 		now = now.Add(l.bus.cfg.DMALatency / 8 * simtime.Duration(segs-1))
 	}
-	return l.Charge(now, dir, n)
+	return now
 }
 
 // Charge accounts a DMA of n bytes without moving data (for transfers whose
 // payload is modelled elsewhere) and returns the completion time.
 func (l *Link) Charge(now simtime.Time, dir Direction, n int64) simtime.Time {
+	return l.charge(now, dir, n, false)
+}
+
+// ChargePinned accounts a DMA whose payload the daemon read or wrote
+// DIRECTLY in pinned host memory (the zero-copy read path): the hostfs
+// pread's own memory-bus pass already covered the landing copy, so the
+// extra staging pass through host DRAM is skipped. The channel-pool,
+// PCIe-bandwidth, and device-memory costs are identical to Charge.
+func (l *Link) ChargePinned(now simtime.Time, dir Direction, n int64) simtime.Time {
+	return l.charge(now, dir, n, true)
+}
+
+func (l *Link) charge(now simtime.Time, dir Direction, n int64, pinned bool) simtime.Time {
 	if n < 0 {
 		n = 0
 	}
@@ -199,9 +224,10 @@ func (l *Link) Charge(now simtime.Time, dir Direction, n int64) simtime.Time {
 		now = now.Add(inj.Delay(faults.DMAStall))
 	}
 
-	// Staging pass through pinned host memory.
+	// Staging pass through pinned host memory (skipped when the payload
+	// was produced in pinned memory to begin with).
 	start := now
-	if l.bus.membus != nil {
+	if l.bus.membus != nil && !pinned {
 		_, start = l.bus.membus.Acquire(now, simtime.TransferTime(n, l.bus.cfg.HostMemBandwidth))
 	}
 	// Bus transfer.

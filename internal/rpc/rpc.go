@@ -191,6 +191,12 @@ type Server struct {
 	inj atomic.Pointer[faults.Injector]
 	met *metrics.Registry
 
+	// zeroCopy makes read handlers (here and in the gsys syscall table)
+	// pread file data directly into the pinned device destination and
+	// charge the DMA without the staging pass (pcie.ChargePinned),
+	// instead of copying through a per-request staging buffer.
+	zeroCopy atomic.Bool
+
 	mu     sync.Mutex
 	fds    map[int64]*hostfs.File
 	nextFd int64
@@ -230,6 +236,16 @@ func NewServer(cfg Config, layer *wrapfs.Layer) *Server {
 // SetFaultInjector installs (or, with nil, removes) the fault injector
 // governing this daemon's request handling.
 func (s *Server) SetFaultInjector(inj *faults.Injector) { s.inj.Store(inj) }
+
+// SetZeroCopyRead toggles the daemon's zero-copy read path: handlers read
+// file data straight into the pinned DMA destination, skipping both the
+// staging buffer and its host-memory-bus pass. Off (the default) keeps
+// the PR-7 staging behavior bit-identically.
+func (s *Server) SetZeroCopyRead(on bool) { s.zeroCopy.Store(on) }
+
+// ZeroCopyRead reports whether the zero-copy read path is enabled; the
+// gsys syscall table consults it so both protocol layers stay in step.
+func (s *Server) ZeroCopyRead() bool { return s.zeroCopy.Load() }
 
 // SetMetrics attaches a metrics registry to the daemon. It must be called
 // before NewClient: each client's ring transport resolves per-shard
@@ -505,6 +521,16 @@ func (c *Client) ReadPages(blk *simtime.Clock, fd int64, off int64, dst []byte) 
 		if err != nil {
 			return 0, err
 		}
+		if c.srv.zeroCopy.Load() {
+			// Zero-copy: pread lands directly in the pinned frame; the
+			// DMA skips the staging pass.
+			n, err := c.readFull(cclk, f, dst, off)
+			if err != nil {
+				return 0, err
+			}
+			got = n
+			return c.link.ChargePinned(cclk.Now(), pcie.HostToDevice, int64(n)), nil
+		}
 		staging := make([]byte, len(dst)) // pinned staging buffer
 		n, err := c.readFull(cclk, f, staging, off)
 		if err != nil {
@@ -534,6 +560,14 @@ func (c *Client) ReadPagesAsync(blk *simtime.Clock, fd int64, off int64, dst []b
 		f, err := c.srv.file(fd)
 		if err != nil {
 			return 0, err
+		}
+		if c.srv.zeroCopy.Load() {
+			n, err := c.readFull(cclk, f, dst, off)
+			if err != nil {
+				return 0, err
+			}
+			got = n
+			return c.link.ChargePinned(cclk.Now(), pcie.HostToDevice, int64(n)), nil
 		}
 		staging := make([]byte, len(dst))
 		n, err := c.readFull(cclk, f, staging, off)
@@ -586,6 +620,13 @@ func (c *Client) ReadPagesVecAsync(blk *simtime.Clock, fd int64, off int64, dsts
 			copy(d[:take], staging[got:got+take])
 			ns[i] = take
 			got += take
+		}
+		if c.srv.zeroCopy.Load() {
+			// Zero-copy: the host read is a preadv over an iovec of pinned
+			// frames (the staging slice above is only this simulation's
+			// scattering mechanism, not a modelled copy), so the DMA skips
+			// the staging pass.
+			return c.link.ChargeScatterPinned(cclk.Now(), pcie.HostToDevice, int64(n), len(dsts)), nil
 		}
 		return c.link.ChargeScatter(cclk.Now(), pcie.HostToDevice, int64(n), len(dsts)), nil
 	})

@@ -47,6 +47,11 @@ type GPUStats struct {
 	// CleanedPages counts pages the background writeback cleaner wrote
 	// back or pre-evicted off the fault critical path.
 	CleanedPages int64
+	// ZeroCopyReads counts cache-hit reads served in place from the
+	// pinned frame (one device-memory pass instead of a copy);
+	// FrameSteals counts allocations that took a frame from another
+	// shard's free list. Both are 0 with the ISSUE 8 knobs off.
+	ZeroCopyReads, FrameSteals int64
 	// ShardLanes is the largest number of distinct RPC ring shards one
 	// batch's blocks spanned on this device — how wide a dispatch round
 	// spread across the sharded host-service rings (1 with a single
@@ -91,6 +96,8 @@ func (s *Server) Stats() Stats {
 		st.GPUs[g].PrefetchUsed = cs.PrefetchUsed
 		st.GPUs[g].PrefetchWasted = cs.PrefetchWasted
 		st.GPUs[g].CleanedPages = cs.CleanedPages
+		st.GPUs[g].ZeroCopyReads = s.sys.GPU(g).FS().ZeroCopyReads()
+		st.GPUs[g].FrameSteals = s.sys.GPU(g).FS().FrameSteals()
 	}
 	st.Latencies = append([]simtime.Duration(nil), s.lat...)
 	return st
@@ -198,6 +205,14 @@ func (st Stats) String() string {
 	}
 	fmt.Fprintf(&b, "cache: %d pages prefetched, %.0f%% hit rate (%d wasted), %d cleaned in background\n",
 		pfIssued, 100*st.PrefetchHitRate(), pfWasted, cleaned)
+	var zc, steals int64
+	for _, g := range st.GPUs {
+		zc += g.ZeroCopyReads
+		steals += g.FrameSteals
+	}
+	if zc > 0 || steals > 0 {
+		fmt.Fprintf(&b, "hot path: %d zero-copy hit reads, %d cross-shard frame steals\n", zc, steals)
+	}
 	if len(st.Latencies) > 0 {
 		fmt.Fprintf(&b, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
 			st.LatencyPercentile(50), st.LatencyPercentile(90),

@@ -86,3 +86,52 @@ func TestSmokeWriteSync(t *testing.T) {
 		t.Fatalf("write-back mismatch")
 	}
 }
+
+// TestSmokeWriteSyncRaced hammers the TestSmokeWriteSync shape — several
+// blocks writing disjoint chunks of ONE buffer-cache page, each gfsyncing
+// its own chunk — where gfsync used to skip any page referenced by a
+// concurrent access. A block whose gfsync raced another block's in-flight
+// write-back would return success while its bytes silently stayed dirty
+// in the cache; gfsync now writes back through transient references
+// (only gmmap'd pages are exempt), so every chunk must reach the host.
+func TestSmokeWriteSyncRaced(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		sys := testSystem(t, 1.0/64)
+		out := make([]byte, 256<<10)
+		for i := range out {
+			out[i] = byte(i ^ 0x5a)
+		}
+		_, err := sys.GPU(0).Launch(0, 4, 256, func(c *BlockCtx) error {
+			fd, err := c.Gopen("/out.bin", O_GWRONCE)
+			if err != nil {
+				return err
+			}
+			chunk := len(out) / c.Blocks
+			off := c.Idx * chunk
+			if _, err := c.Gwrite(fd, out[off:off+chunk], int64(off)); err != nil {
+				return err
+			}
+			if err := c.Gfsync(fd); err != nil {
+				return err
+			}
+			return c.Gclose(fd)
+		})
+		if err != nil {
+			t.Fatalf("iter %d: Launch: %v", iter, err)
+		}
+		got, err := sys.ReadHostFile("/out.bin")
+		if err != nil {
+			t.Fatalf("iter %d: ReadHostFile: %v", iter, err)
+		}
+		if !bytes.Equal(got, out) {
+			lo := -1
+			for i := range got {
+				if i >= len(out) || got[i] != out[i] {
+					lo = i
+					break
+				}
+			}
+			t.Fatalf("iter %d: write-back mismatch from byte %d: a gfsync dropped a concurrently-referenced page", iter, lo)
+		}
+	}
+}
