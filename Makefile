@@ -5,10 +5,11 @@
 #                suite under the race detector (the stress/oracle tests
 #                run 500 seeds concurrently, so this is where sync bugs
 #                die), the bench guardrail pinning the Fig4 16K/32K
-#                throughputs, daemon-scaling speedup, and contention
-#                speedup to BENCH_5.json, mutex/block profiles harvested
-#                from the contention benchmark into artifacts/, and the
-#                4-host fleet remediation demo end to end.
+#                throughputs, daemon-scaling speedup, contention
+#                speedup, and open-loop saturation throughput to
+#                BENCH_6.json, mutex/block profiles harvested from the
+#                contention benchmark into artifacts/, and the 4-host
+#                fleet remediation demo end to end.
 #   fuzz-smoke — 30s coverage-guided runs of the radix-tree fuzzer and
 #                the syscall wire-frame round-trip fuzzer; CI budget, not
 #                a soak. Extend -fuzztime for real hunts.
@@ -24,12 +25,12 @@
 #                show cordon/drain/replace, fail if any admitted job is
 #                lost or fault-phase throughput drops below 60% of
 #                steady state.
-#   bench-smoke — the Readahead policy, syscall Ordering, and hot-path
-#                Contention experiments at 1/256 scale, one rep: a
-#                seconds-long CI check that the bench harness, the
-#                adaptive read-ahead engine, the ordering-aware
-#                transport, and the lock-free read path still run end
-#                to end.
+#   bench-smoke — the Readahead policy, syscall Ordering, hot-path
+#                Contention, and open-loop Saturation experiments at
+#                1/256 scale, one rep: a seconds-long CI check that the
+#                bench harness, the adaptive read-ahead engine, the
+#                ordering-aware transport, the lock-free read path, and
+#                the open-loop serving driver still run end to end.
 
 GO ?= go
 
@@ -75,3 +76,4 @@ bench-smoke:
 	$(GO) run ./cmd/gpufs-bench -exp readahead -scale 0.00390625 -reps 1
 	$(GO) run ./cmd/gpufs-bench -exp ordering -scale 0.00390625 -reps 1
 	$(GO) run ./cmd/gpufs-bench -exp contention -scale 0.00390625 -reps 1
+	$(GO) run ./cmd/gpufs-bench -exp saturation -scale 0.00390625 -reps 1

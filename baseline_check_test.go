@@ -33,6 +33,10 @@ func TestStrongOrderingBitIdenticalBaseline(t *testing.T) {
 		// timeline reproduces exactly.
 		cfg.ZeroCopyRead = false
 		cfg.FrameShards = 1
+		// Likewise the history-prefetch engine (ISSUE 9): with the knob off
+		// no recorder or replay state is allocated and the timeline must be
+		// bit-identical to the pre-history build.
+		cfg.HistoryPrefetch = false
 		sys, err := gpufs.NewSystem(cfg)
 		if err != nil {
 			t.Fatal(err)

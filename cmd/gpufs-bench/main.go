@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	gpufs-bench [-scale 0.03125] [-exp all|fig4|fig5|fig6|fig7|fig8|table2|table3|table4]
+//	gpufs-bench [-scale 0.03125] [-exp all|fig4|fig5|fig6|fig7|fig8|table2|
+//	    table3|table4|readahead|ablation|serve|daemon|ordering|contention|
+//	    saturation]
 //
 // -scale 1 runs at the paper's full input sizes (needs several GB of RAM
 // and minutes of wall time); the default 1/32 preserves every
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0/32, "uniform scale factor for capacities and input sizes")
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, readahead, ablation, serve, daemon, ordering, contention")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, table2, table3, table4, readahead, ablation, serve, daemon, ordering, contention, saturation")
 	reps := flag.Int("reps", 3, "runs averaged per measured cell (the paper averages 5)")
 	ordering := flag.String("ordering", "", `default syscall ordering for every experiment: "strong" or "relaxed" (empty = config default; the ordering sweep pins its own)`)
 	jsonOut := flag.Bool("json", false, "emit machine-readable NDJSON (one object per table row) instead of text tables")
@@ -66,6 +68,7 @@ func main() {
 		"daemon":     bench.DaemonScaling,
 		"ordering":   bench.Ordering,
 		"contention": bench.Contention,
+		"saturation": bench.Saturation,
 	}
 
 	if !*jsonOut {

@@ -242,6 +242,7 @@ func NewSystemWithMetrics(cfg Config, reg *metrics.Registry) (*System, error) {
 			ForceLockedTraversal: cfg.ForceLockedTraversal,
 			ReadAheadPages:       cfg.ReadAheadPages,
 			ReadAheadAdaptive:    cfg.ReadAheadAdaptive,
+			HistoryPrefetch:      cfg.HistoryPrefetch,
 			CleanerWorkers:       cfg.CleanerWorkers,
 			DisableFastReopen:    cfg.DisableFastReopen,
 			ZeroCopyRead:         cfg.ZeroCopyRead,

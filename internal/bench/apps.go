@@ -392,7 +392,7 @@ func Table4(scale float64) (*Table, error) {
 
 // All runs every experiment at the given scale.
 func All(scale float64) ([]*Table, error) {
-	runners := []func(float64) (*Table, error){Fig4, Fig5, Fig6, Fig7, Fig8, Table2, Table3, Table4, Readahead, Serve, DaemonScaling, Ordering, Contention}
+	runners := []func(float64) (*Table, error){Fig4, Fig5, Fig6, Fig7, Fig8, Table2, Table3, Table4, Readahead, Serve, DaemonScaling, Ordering, Contention, Saturation}
 	var out []*Table
 	for _, r := range runners {
 		tb, err := r(scale)

@@ -12,7 +12,7 @@ import (
 )
 
 // TestBenchGuardrail pins headline numbers against the committed
-// reference run (BENCH_5.json at the repo root, generated at the default
+// reference run (BENCH_6.json at the repo root, generated at the default
 // -scale 1/32 with -reps 3):
 //
 //   - the Figure 4 sequential-read throughput at 16K AND 32K pages, the
@@ -22,9 +22,12 @@ import (
 //     era (the cross-reference check below);
 //   - the daemon-scaling grep speedup at 4 workers over the serialized
 //     single-worker daemon — the parallel-RPC-stack win this repo's PR 2
-//     introduced; and
+//     introduced;
 //   - the contention speedup at 8 workers — the PR-8 lock-free hot
-//     path's win, floored at the 1.3x acceptance bar.
+//     path's win, floored at the 1.3x acceptance bar; and
+//   - the open-loop saturation throughput (ISSUE 9): re-offered at the
+//     reference max-sustainable rate, the serving stack must still
+//     achieve 85% of the reference's achieved jobs/s.
 //
 // Costs ~30s of wall time, so it is opt-in: `make tier2` exports
 // GPUFS_BENCH_GUARDRAIL=1; plain `go test` skips it.
@@ -32,8 +35,8 @@ func TestBenchGuardrail(t *testing.T) {
 	if os.Getenv("GPUFS_BENCH_GUARDRAIL") == "" {
 		t.Skip("set GPUFS_BENCH_GUARDRAIL=1 to run the reference-pinned bench guardrail")
 	}
-	ref := loadBenchReference(t, "../../BENCH_5.json")
-	const scale = 1.0 / 32 // the scale BENCH_5.json was generated at
+	ref := loadBenchReference(t, "../../BENCH_6.json")
+	const scale = 1.0 / 32 // the scale BENCH_6.json was generated at
 
 	fig4 := func(t *testing.T, pageSize int64, label string) {
 		want := ref.float(t, "Figure 4", "page", label, "GPUfs MB/s")
@@ -60,7 +63,7 @@ func TestBenchGuardrail(t *testing.T) {
 			t.Errorf("Fig4 %s sequential read regressed: %.0f MB/s, reference %.0f MB/s (floor 90%%)", label, got, want)
 		}
 		if got > 1.25*want {
-			t.Errorf("Fig4 %s sequential read implausibly fast: %.0f MB/s vs reference %.0f MB/s — timing model change? regenerate BENCH_5.json", label, got, want)
+			t.Errorf("Fig4 %s sequential read implausibly fast: %.0f MB/s vs reference %.0f MB/s — timing model change? regenerate BENCH_6.json", label, got, want)
 		}
 	}
 	t.Run("Fig4-16K", func(t *testing.T) { fig4(t, 16<<10, "16K") })
@@ -95,6 +98,24 @@ func TestBenchGuardrail(t *testing.T) {
 		got := float64(base) / float64(fast)
 		if got < floor {
 			t.Errorf("contention 8-worker lock-free speedup regressed: %.2fx, floor %.2fx (reference %.2fx)", got, floor, refSpeed)
+		}
+	})
+
+	t.Run("Saturation-max", func(t *testing.T) {
+		// Re-offer the reference's max sustainable load and require the
+		// achieved throughput to stay within 85% of the reference. One
+		// open-loop run, not the whole sweep: the pinned quantity is what
+		// the machine delivers at the known knee, not where the knee is.
+		refOffered := ref.float(t, "Saturation", "load", "max", "offered jobs/s")
+		refAchieved := ref.float(t, "Saturation", "load", "max", "achieved jobs/s")
+		pt, err := saturationPoint(scale, refOffered, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pt.res.AchievedRate()
+		if got < 0.85*refAchieved {
+			t.Errorf("saturation throughput regressed: %.0f jobs/s at the reference max-sustainable offer of %.0f, reference achieved %.0f (floor 85%%)",
+				got, refOffered, refAchieved)
 		}
 	})
 

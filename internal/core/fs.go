@@ -94,6 +94,14 @@ type Options struct {
 	// ReadAheadPages; false restores the greedy (or no) read-ahead path
 	// bit-identically.
 	ReadAheadAdaptive bool
+	// HistoryPrefetch layers the per-file access-history engine of ISSUE 9
+	// over the detector: each open's first-touch burst and confirmed
+	// strides are recorded into a bounded FS-level profile table, and a
+	// re-open of an unchanged file (same host generation and size)
+	// replays them — burst pages pre-warm through vectored RPCs, detector
+	// slots start confident. Off disables recording and replay
+	// bit-identically.
+	HistoryPrefetch bool
 	// CleanerWorkers is the number of background writeback-cleaner lanes.
 	// When the free-frame pool drops below the low watermark, a demand
 	// fault kicks an idle lane, which — on its own virtual clock, so the
@@ -178,6 +186,20 @@ type FS struct {
 	cleanedPages   atomic.Int64
 	cleanerKicks   atomic.Int64
 
+	// History-prefetch accounting (ISSUE 9): pages issued by profile
+	// replay (a subset of prefetchIssued), their used/wasted outcomes,
+	// opens that replayed a profile, and profiles dropped because the
+	// host copy changed between opens.
+	replayIssued         atomic.Int64
+	replayUsed           atomic.Int64
+	replayWasted         atomic.Int64
+	historyReplays       atomic.Int64
+	historyInvalidations atomic.Int64
+
+	// history is the per-file access-profile table of the ISSUE 9
+	// history-prefetch engine; nil when Options.HistoryPrefetch is off.
+	history *historyTable
+
 	// specPending gauges speculative pages currently in the cache that no
 	// demand access has consumed yet. The adaptive engine caps it at a
 	// quarter of the frame pool, so speculation can never thrash resident
@@ -241,6 +263,14 @@ type file struct {
 	// rather than the chaotic interleaving of all of them — the reason
 	// the paper dismissed per-file stride detection (§3.3).
 	ra [raStreams]raStream
+
+	// rec and replay are this open's history-prefetch state (ISSUE 9):
+	// rec accumulates the first-touch burst for the profile recorded at
+	// close; replay drives the pre-warm of a previously recorded profile.
+	// Both nil when the engine is off (or, for replay, no profile
+	// matched).
+	rec    *histRecorder
+	replay *replayState
 }
 
 // fileCache is a file's GPU-resident cache state. It survives gclose in the
@@ -350,6 +380,9 @@ func New(gpuID int, opt Options, client *rpc.Client, mem *memsys.Arena) (*FS, er
 	if opt.CleanerWorkers > 0 {
 		fs.cleaner = newCleaner(fs, opt.CleanerWorkers)
 	}
+	if opt.HistoryPrefetch {
+		fs.history = newHistoryTable(histMaxFiles)
+	}
 	if opt.Metrics != nil {
 		fs.attachMetrics(opt.Metrics)
 	}
@@ -387,6 +420,11 @@ func (fs *FS) attachMetrics(reg *metrics.Registry) {
 	reg.SetHelp("gpufs_core_zero_copy_reads_total", "Cache-hit page reads served in place from the pinned frame")
 	reg.SetHelp("gpufs_core_frame_steals_total", "Frame allocations satisfied by stealing from another shard")
 	reg.SetHelp("gpufs_core_leaf_recycles_total", "Radix leaves reused from the epoch-reclaimed pool")
+	reg.SetHelp("gpufs_core_replay_issued_total", "Pages issued by history-profile replay")
+	reg.SetHelp("gpufs_core_replay_used_total", "Replayed pages later consumed by a demand access")
+	reg.SetHelp("gpufs_core_replay_wasted_total", "Replayed pages reclaimed unconsumed")
+	reg.SetHelp("gpufs_core_history_replays_total", "Opens that replayed a recorded access profile")
+	reg.SetHelp("gpufs_core_history_invalidations_total", "Profiles dropped because the host copy changed between opens")
 
 	reg.CounterFunc("gpufs_core_cache_hits_total", fs.cacheHits.Load, "gpu", gpuL)
 	reg.CounterFunc("gpufs_core_cache_misses_total", fs.cacheMisses.Load, "gpu", gpuL)
@@ -403,6 +441,11 @@ func (fs *FS) attachMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("gpufs_core_zero_copy_reads_total", fs.zeroCopyReads.Load, "gpu", gpuL)
 	reg.CounterFunc("gpufs_core_frame_steals_total", fs.cache.Steals, "gpu", gpuL)
 	reg.CounterFunc("gpufs_core_leaf_recycles_total", fs.leafRecycles, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_replay_issued_total", fs.replayIssued.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_replay_used_total", fs.replayUsed.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_replay_wasted_total", fs.replayWasted.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_history_replays_total", fs.historyReplays.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_core_history_invalidations_total", fs.historyInvalidations.Load, "gpu", gpuL)
 
 	m := &fsMetrics{op: make([]*metrics.Histogram, int(trace.OpPipeClose)+1)}
 	for _, op := range []trace.Op{
@@ -562,6 +605,7 @@ func (fs *FS) openImpl(b *gpu.Block, path string, flags int) (int, error) {
 					}
 				}
 				fs.closedReuses.Add(1)
+				fs.historyAttach(b, f)
 				return fd, nil
 			}
 		}
@@ -593,6 +637,7 @@ func (fs *FS) openImpl(b *gpu.Block, path string, flags int) (int, error) {
 			close(f.ready)
 			return -1, err
 		}
+		fs.historyAttach(b, f)
 		close(f.ready)
 		return fd, nil
 	}
@@ -726,6 +771,10 @@ func (fs *FS) closeImpl(b *gpu.Block, fd int) error {
 	fc.lastFlags = f.flags
 	fs.mu.Unlock()
 
+	if fs.history != nil {
+		fs.historyRecord(f)
+	}
+
 	if f.writable {
 		fs.client.EndWrite(fc.ino)
 	}
@@ -847,9 +896,16 @@ type Stats struct {
 // demand access consumed it — wasted prefetch, the adaptive window's
 // shrink signal. Reports whether the page was indeed unconsumed.
 func (fs *FS) noteSpecDrop(fc *fileCache, fr *pcache.Frame) bool {
-	if fr.Spec.Swap(pcache.SpecNone) == pcache.SpecPending {
+	switch fr.Spec.Swap(pcache.SpecNone) {
+	case pcache.SpecPending:
 		fs.prefetchWasted.Add(1)
 		fc.prefetchWasted.Add(1)
+		fs.specPending.Add(-1)
+		return true
+	case pcache.SpecReplay:
+		fs.prefetchWasted.Add(1)
+		fc.prefetchWasted.Add(1)
+		fs.replayWasted.Add(1)
 		fs.specPending.Add(-1)
 		return true
 	}
@@ -871,6 +927,16 @@ type CacheStats struct {
 	// pre-evicted; CleanerKicks counts cleaner wake-ups.
 	CleanedPages int64
 	CleanerKicks int64
+	// ReplayIssued/Used/Wasted count history-profile replay pages (a
+	// subset of the Prefetch* counters above); HistoryReplays counts
+	// opens that replayed a profile, and HistoryInvalidations counts
+	// profiles dropped because the host copy changed between opens
+	// (ISSUE 9).
+	ReplayIssued         int64
+	ReplayUsed           int64
+	ReplayWasted         int64
+	HistoryReplays       int64
+	HistoryInvalidations int64
 }
 
 // ZeroCopyReads reports how many cache-hit page reads were served in place
@@ -901,11 +967,16 @@ func (fs *FS) leafRecycles() int64 {
 // CacheStats snapshots the speculation and cleaning counters.
 func (fs *FS) CacheStats() CacheStats {
 	return CacheStats{
-		PrefetchIssued: fs.prefetchIssued.Load(),
-		PrefetchUsed:   fs.prefetchUsed.Load(),
-		PrefetchWasted: fs.prefetchWasted.Load(),
-		CleanedPages:   fs.cleanedPages.Load(),
-		CleanerKicks:   fs.cleanerKicks.Load(),
+		PrefetchIssued:       fs.prefetchIssued.Load(),
+		PrefetchUsed:         fs.prefetchUsed.Load(),
+		PrefetchWasted:       fs.prefetchWasted.Load(),
+		CleanedPages:         fs.cleanedPages.Load(),
+		CleanerKicks:         fs.cleanerKicks.Load(),
+		ReplayIssued:         fs.replayIssued.Load(),
+		ReplayUsed:           fs.replayUsed.Load(),
+		ReplayWasted:         fs.replayWasted.Load(),
+		HistoryReplays:       fs.historyReplays.Load(),
+		HistoryInvalidations: fs.historyInvalidations.Load(),
 	}
 }
 
@@ -955,6 +1026,12 @@ func (fs *FS) Restart(b *gpu.Block) {
 	fs.closedByPath = make(map[string]int64)
 	fs.truncated = make(map[string]bool)
 	fs.mu.Unlock()
+
+	// Profiles describe caches that died with the card; the next open
+	// re-records from scratch.
+	if fs.history != nil {
+		fs.history.clear()
+	}
 
 	for _, f := range open {
 		if f == nil || f.fc == nil {

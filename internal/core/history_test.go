@@ -1,0 +1,359 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gpufs/internal/gpu"
+	"gpufs/internal/rpc"
+	"gpufs/internal/simtime"
+)
+
+// History-prefetch (ISSUE 9) tests: a file's first open records its
+// page-access footprint; a later re-open replays it — pre-warming the
+// recorded burst through vectored fetches before the demand reads arrive
+// — and the replay must (a) be measurably faster than the cold adaptive
+// detector, (b) reach the host as a few vectored RPCs rather than
+// page-at-a-time probes, (c) die instantly when the host copy changed
+// between opens, and (d) be bit-invisible when the knob is off.
+
+const (
+	histPagesA = 32 // the profiled file
+	histPagesB = 64 // churn file: one full pool turnover (64-frame cache)
+)
+
+// histShape reads file A's footprint through fd — the access pattern the
+// recorder captures and the replay must reproduce.
+type histShape struct {
+	name  string
+	pages []int64 // first-touch order of A's page reads
+}
+
+func histShapes() []histShape {
+	seq := make([]int64, histPagesA)
+	for i := range seq {
+		seq[i] = int64(i)
+	}
+	var stride4 []int64
+	for p := int64(0); p < histPagesA; p += 4 {
+		stride4 = append(stride4, p)
+	}
+	return []histShape{{"sequential", seq}, {"stride-4", stride4}}
+}
+
+func (s histShape) read(fs *FS, b *gpu.Block, fd int, ps int64, want []byte) error {
+	buf := make([]byte, ps)
+	for _, p := range s.pages {
+		n, err := fs.Read(b, fd, buf, p*ps)
+		if err != nil {
+			return err
+		}
+		if int64(n) != ps || !bytes.Equal(buf, want[p*ps:(p+1)*ps]) {
+			return fmt.Errorf("page %d: wrong bytes (n=%d)", p, n)
+		}
+	}
+	return nil
+}
+
+// histRun is one record-churn-reopen workload execution.
+type histRun struct {
+	preludeEnd  simtime.Time // end of the record + churn kernel
+	reopenEnd   simtime.Time // end of the re-open re-read kernel
+	reopenReads int64        // OpReadPages RPCs issued by the re-open kernel
+	cs          CacheStats
+}
+
+// runHistoryWorkload executes the canonical repeated-open workload on a
+// fresh harness: kernel 1 reads A's footprint (recording the profile at
+// close), then drags the whole 64-page file B through the 64-frame pool
+// and unlinks it — evicting every one of A's pages and leaving the pool
+// free — and kernel 2 re-opens A and re-reads the same footprint. The
+// split lets the caller time the re-open in isolation and count its host
+// reads.
+func runHistoryWorkload(t *testing.T, historyOn bool, shape histShape) histRun {
+	return runHistoryWorkloadOpt(t, historyOn, shape, nil)
+}
+
+func runHistoryWorkloadOpt(t *testing.T, historyOn bool, shape histShape, tweak func(*Options)) histRun {
+	t.Helper()
+	opt := defaultOpt()
+	opt.ReadAheadAdaptive = true
+	opt.HistoryPrefetch = historyOn
+	if tweak != nil {
+		tweak(&opt)
+	}
+	h := newHarness(t, 1, opt)
+	fs := h.fss[0]
+	ps := opt.PageSize
+	wantA := pattern(histPagesA*int(ps), 3)
+	wantB := pattern(histPagesB*int(ps), 4)
+	h.write(t, "/a", wantA)
+	h.write(t, "/b", wantB)
+
+	end1, err := h.devs[0].Launch(0, 1, 64, func(b *gpu.Block) error {
+		fd, err := fs.Open(b, "/a", O_RDONLY)
+		if err != nil {
+			return err
+		}
+		if err := shape.read(fs, b, fd, ps, wantA); err != nil {
+			return err
+		}
+		if err := fs.Close(b, fd); err != nil {
+			return err
+		}
+		fdb, err := fs.Open(b, "/b", O_RDONLY)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, histPagesB*ps)
+		if _, err := fs.Read(b, fdb, buf, 0); err != nil {
+			return err
+		}
+		if err := fs.Close(b, fdb); err != nil {
+			return err
+		}
+		return fs.Unlink(b, "/b")
+	})
+	if err != nil {
+		t.Fatalf("prelude kernel: %v", err)
+	}
+
+	reads := h.server.Requests(rpc.OpReadPages)
+	end2, err := h.devs[0].Launch(end1, 1, 64, func(b *gpu.Block) error {
+		fd, err := fs.Open(b, "/a", O_RDONLY)
+		if err != nil {
+			return err
+		}
+		if err := shape.read(fs, b, fd, ps, wantA); err != nil {
+			return err
+		}
+		return fs.Close(b, fd)
+	})
+	if err != nil {
+		t.Fatalf("reopen kernel: %v", err)
+	}
+	return histRun{
+		preludeEnd:  end1,
+		reopenEnd:   end2,
+		reopenReads: h.server.Requests(rpc.OpReadPages) - reads,
+		cs:          fs.CacheStats(),
+	}
+}
+
+// TestHistoryReplayBeatsColdDetector is the ISSUE 9 acceptance bar: on the
+// repeated-open workload the profile replay must beat the cold adaptive
+// detector by at least 1.2x of re-open virtual time, for both a sequential
+// and a strided footprint.
+func TestHistoryReplayBeatsColdDetector(t *testing.T) {
+	for _, shape := range histShapes() {
+		shape := shape
+		t.Run(shape.name, func(t *testing.T) {
+			on := runHistoryWorkload(t, true, shape)
+			off := runHistoryWorkload(t, false, shape)
+
+			// The first open has no profile to replay: recording is pure
+			// host-side bookkeeping and must not move the virtual timeline.
+			if on.preludeEnd != off.preludeEnd {
+				t.Fatalf("recording pass changed the timeline: %v on vs %v off",
+					on.preludeEnd, off.preludeEnd)
+			}
+			onRe := on.reopenEnd - on.preludeEnd
+			offRe := off.reopenEnd - off.preludeEnd
+			ratio := float64(offRe) / float64(onRe)
+			t.Logf("reopen: %v with replay vs %v cold (%.2fx), %d vs %d host read RPCs",
+				simtime.Duration(onRe), simtime.Duration(offRe), ratio,
+				on.reopenReads, off.reopenReads)
+			if ratio < 1.2 {
+				t.Errorf("replay speedup %.2fx < 1.2x acceptance bar", ratio)
+			}
+			if on.cs.HistoryReplays != 1 {
+				t.Errorf("HistoryReplays = %d, want 1", on.cs.HistoryReplays)
+			}
+			if on.cs.ReplayUsed == 0 {
+				t.Errorf("replay issued %d pages but none were consumed", on.cs.ReplayIssued)
+			}
+		})
+	}
+}
+
+// TestHistoryReplayIsVectored pins the mechanism, not just the outcome:
+// the re-open's burst must reach the host as a few coalesced vectored
+// ReadPages RPCs covering the recorded footprint, not one RPC per page.
+// Small pages make the coalescing visible: the engine caps a span at
+// raMaxSpanBytes, so at the default 16K pages a "span" is only 2 pages —
+// at 4K pages a consecutive run rides 8 pages per RPC.
+func TestHistoryReplayIsVectored(t *testing.T) {
+	shape := histShapes()[0] // sequential: 32 pages
+	run := runHistoryWorkloadOpt(t, true, shape, func(o *Options) {
+		o.PageSize = 4 << 10
+		o.CacheBytes = 64 * (4 << 10) // keep the 64-frame pool geometry
+	})
+
+	if run.cs.HistoryReplays != 1 {
+		t.Fatalf("HistoryReplays = %d, want 1", run.cs.HistoryReplays)
+	}
+	// The whole footprint replays: every page of the burst is issued
+	// speculatively (the trickle tops up as demand consumes the pre-warm).
+	if run.cs.ReplayIssued < histPagesA/2 || run.cs.ReplayIssued > histPagesA {
+		t.Errorf("ReplayIssued = %d, want within [%d, %d]",
+			run.cs.ReplayIssued, histPagesA/2, histPagesA)
+	}
+	// Coalescing: consecutive burst pages ride one vectored RPC per
+	// 8-page span, so the 32-page re-read needs far fewer host round
+	// trips than pages. (Cold, the same re-read takes a demand fault or
+	// probe per page until the detector's window opens.)
+	if run.reopenReads > histPagesA/4 {
+		t.Errorf("reopen issued %d ReadPages RPCs for a %d-page replay; burst is not vectored",
+			run.reopenReads, histPagesA)
+	}
+}
+
+// TestHistoryInvalidationOnHostWrite: an external host write between the
+// recording open and the re-open bumps the file's generation; the stale
+// profile must be dropped — no replay, no speculative reads — and the
+// re-open must see the new bytes through the ordinary demand path.
+func TestHistoryInvalidationOnHostWrite(t *testing.T) {
+	opt := defaultOpt()
+	opt.ReadAheadAdaptive = true
+	opt.HistoryPrefetch = true
+	h := newHarness(t, 1, opt)
+	fs := h.fss[0]
+	ps := opt.PageSize
+	v1 := pattern(histPagesA*int(ps), 3)
+	h.write(t, "/a", v1)
+
+	end1, err := h.devs[0].Launch(0, 1, 64, func(b *gpu.Block) error {
+		fd, err := fs.Open(b, "/a", O_RDONLY)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, len(v1))
+		if _, err := fs.Read(b, fd, buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, v1) {
+			return fmt.Errorf("first read: wrong bytes")
+		}
+		return fs.Close(b, fd)
+	})
+	if err != nil {
+		t.Fatalf("recording kernel: %v", err)
+	}
+
+	// External host write: same path, same size, new content — only the
+	// generation distinguishes it, which is exactly what the profile's
+	// validation must check.
+	v2 := pattern(histPagesA*int(ps), 9)
+	h.write(t, "/a", v2)
+
+	if _, err := h.devs[0].Launch(end1, 1, 64, func(b *gpu.Block) error {
+		fd, err := fs.Open(b, "/a", O_RDONLY)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, len(v2))
+		if _, err := fs.Read(b, fd, buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, v2) {
+			return fmt.Errorf("reopen read: stale bytes survived the host write")
+		}
+		return fs.Close(b, fd)
+	}); err != nil {
+		t.Fatalf("reopen kernel: %v", err)
+	}
+
+	cs := fs.CacheStats()
+	if cs.HistoryInvalidations != 1 {
+		t.Errorf("HistoryInvalidations = %d, want 1", cs.HistoryInvalidations)
+	}
+	if cs.HistoryReplays != 0 || cs.ReplayIssued != 0 {
+		t.Errorf("stale profile replayed anyway: %d replays, %d pages issued",
+			cs.HistoryReplays, cs.ReplayIssued)
+	}
+}
+
+// TestHistoryMetamorphicOnOff extends the metamorphic suite's contract to
+// the ISSUE 9 knob: across read shapes and repeated open/close cycles, the
+// bytes must be identical with HistoryPrefetch on and off, and the
+// CacheStats must be identical once the speculation counters — the only
+// state the engine is allowed to move — are masked out.
+func TestHistoryMetamorphicOnOff(t *testing.T) {
+	specFree := func(cs CacheStats) CacheStats {
+		cs.PrefetchIssued, cs.PrefetchUsed, cs.PrefetchWasted = 0, 0, 0
+		cs.ReplayIssued, cs.ReplayUsed, cs.ReplayWasted = 0, 0, 0
+		cs.HistoryReplays, cs.HistoryInvalidations = 0, 0
+		return cs
+	}
+	shapes := []struct {
+		name  string
+		pages []int64
+	}{
+		{"whole-file", func() []int64 {
+			s := make([]int64, 12)
+			for i := range s {
+				s[i] = int64(i)
+			}
+			return s
+		}()},
+		{"strided", []int64{0, 3, 6, 9}},
+		{"random", []int64{7, 2, 11, 5, 0, 9}},
+	}
+	const filePages = 12
+
+	for _, shape := range shapes {
+		shape := shape
+		t.Run(shape.name, func(t *testing.T) {
+			var bytesBy [2][]byte
+			var statsBy [2]CacheStats
+			for i, on := range []bool{true, false} {
+				opt := defaultOpt()
+				opt.ReadAheadAdaptive = true
+				opt.HistoryPrefetch = on
+				h := newHarness(t, 1, opt)
+				fs := h.fss[0]
+				ps := opt.PageSize
+				want := pattern(filePages*int(ps), 6)
+				h.write(t, "/m", want)
+
+				got := make([]byte, len(shape.pages)*int(ps))
+				// Two open/close cycles: the second exercises replay when
+				// the knob is on and must still produce identical bytes.
+				start := simtime.Time(0)
+				for cycle := 0; cycle < 2; cycle++ {
+					end, err := h.devs[0].Launch(start, 1, 64, func(b *gpu.Block) error {
+						fd, err := fs.Open(b, "/m", O_RDONLY)
+						if err != nil {
+							return err
+						}
+						for j, p := range shape.pages {
+							if _, err := fs.Read(b, fd, got[j*int(ps):(j+1)*int(ps)], p*ps); err != nil {
+								return err
+							}
+						}
+						return fs.Close(b, fd)
+					})
+					if err != nil {
+						t.Fatalf("cycle %d (history=%v): %v", cycle, on, err)
+					}
+					start = end
+				}
+				for j, p := range shape.pages {
+					if !bytes.Equal(got[j*int(ps):(j+1)*int(ps)], want[p*ps:(p+1)*ps]) {
+						t.Fatalf("history=%v: page %d bytes wrong", on, p)
+					}
+				}
+				bytesBy[i] = got
+				statsBy[i] = specFree(fs.CacheStats())
+			}
+			if !bytes.Equal(bytesBy[0], bytesBy[1]) {
+				t.Errorf("bytes diverge between HistoryPrefetch on and off")
+			}
+			if statsBy[0] != statsBy[1] {
+				t.Errorf("speculation-adjusted CacheStats diverge:\n on: %+v\noff: %+v",
+					statsBy[0], statsBy[1])
+			}
+		})
+	}
+}

@@ -84,6 +84,11 @@ func (fs *FS) getPage(b *gpu.Block, f *file, pageIdx int64) (pageRef, error) {
 							fs.prefetchUsed.Add(1)
 							fc.prefetchUsed.Add(1)
 							fs.specPending.Add(-1)
+						} else if fr.Spec.CompareAndSwap(pcache.SpecReplay, pcache.SpecUsed) {
+							fs.prefetchUsed.Add(1)
+							fc.prefetchUsed.Add(1)
+							fs.replayUsed.Add(1)
+							fs.specPending.Add(-1)
 						}
 					}
 					fs.cacheHits.Add(1)
@@ -232,9 +237,9 @@ func (fs *FS) readImpl(b *gpu.Block, fd int, dst []byte, off int64) (int, error)
 	if lastPage > firstPage && !f.writeOnce {
 		budget := fs.fetchBudget()
 		for pageIdx := firstPage + 1; pageIdx <= lastPage && budget > 0; pageIdx++ {
-			// spec=false: these pages are known-needed by this very read,
+			// SpecNone: these pages are known-needed by this very read,
 			// not speculation — they stay out of the prefetch counters.
-			fs.prefetchPage(b, f, pageIdx, false)
+			fs.prefetchPage(b, f, pageIdx, pcache.SpecNone)
 			budget--
 		}
 	}
@@ -269,10 +274,20 @@ func (fs *FS) readImpl(b *gpu.Block, fd int, dst []byte, off int64) (int, error)
 		ref.release()
 		done += n
 	}
-	if fs.opt.ReadAheadAdaptive {
+	// While a history replay is actively in flight it owns prediction for
+	// this file: the burst already names the future accesses, and letting
+	// the stride detector race it just splits the same stream across two
+	// issuers — fragmenting the vectored spans and saturating the
+	// speculation cap with duplicate guesses. The detector resumes (with
+	// its seeded slots) the moment the replay completes or stands down.
+	replaying := f.replay != nil && !f.replay.done.Load()
+	if fs.opt.ReadAheadAdaptive && !replaying {
 		fs.adaptiveReadAhead(b, f, firstPage, (off+done-1)/ps)
-	} else if fs.opt.ReadAheadPages > 0 {
+	} else if fs.opt.ReadAheadPages > 0 && !replaying {
 		fs.readAhead(b, f, (off+done-1)/ps+1)
+	}
+	if fs.history != nil {
+		fs.historyObserve(b, f, firstPage, (off+done-1)/ps)
 	}
 	return int(done), nil
 }

@@ -25,6 +25,7 @@ const (
 	SpecNone    int32 = iota // demand-faulted (or free) frame
 	SpecPending              // prefetched, no consumer has claimed it yet
 	SpecUsed                 // prefetched and consumed by a demand access
+	SpecReplay               // prefetched by a history-profile replay, unclaimed
 )
 
 // Frame is a pframe: metadata for one buffer-cache page.

@@ -107,7 +107,7 @@ func (fs *FS) readAhead(b *gpu.Block, f *file, firstPage int64) {
 		if pageIdx > lastPage {
 			return
 		}
-		if !fs.prefetchPage(b, f, pageIdx, true) {
+		if !fs.prefetchPage(b, f, pageIdx, pcache.SpecPending) {
 			b.Busy(fs.probeCost())
 		}
 	}
@@ -267,7 +267,7 @@ func (fs *FS) adaptiveReadAhead(b *gpu.Block, f *file, first, last int64) {
 		return
 	}
 	for i := int64(0); i < n; i++ {
-		if !fs.prefetchPage(b, f, start+i*stride, true) {
+		if !fs.prefetchPage(b, f, start+i*stride, pcache.SpecPending) {
 			b.Busy(fs.probeCost())
 		}
 	}
@@ -280,12 +280,13 @@ func (fs *FS) adaptiveReadAhead(b *gpu.Block, f *file, first, last int64) {
 // caller's to account (a cheap probe), so the synchronous batched-fetch
 // path in gread, which calls this directly, stays cost-identical.
 //
-// spec marks the fetch as speculation (read-ahead): it joins the
-// prefetch-issued/used/wasted accounting and the global in-flight cap.
-// The batched-fetch path passes false — those pages are known-needed
-// pipelining of the current gread, not a guess, and counting them would
-// report a flattering hit rate the engine didn't earn.
-func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64, spec bool) bool {
+// spec is the speculation state stamped on the fetched frame:
+// pcache.SpecPending (adaptive read-ahead) and pcache.SpecReplay (history
+// replay) join the prefetch-issued/used/wasted accounting and the global
+// in-flight cap; pcache.SpecNone is the batched-fetch path — those pages
+// are known-needed pipelining of the current gread, not a guess, and
+// counting them would report a flattering hit rate the engine didn't earn.
+func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64, spec int32) bool {
 	fc := f.fc
 	g := fc.tree.Pin()
 	fp, leaf := fc.tree.LookupLeaf(uint64(pageIdx))
@@ -329,8 +330,8 @@ func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64, spec bool) bool
 	fr.ValidBytes.Store(int64(n))
 	fr.ReadyAt.Store(int64(done))
 	fr.Prefetched.Store(true)
-	if spec {
-		fr.Spec.Store(pcache.SpecPending)
+	if spec != pcache.SpecNone {
+		fr.Spec.Store(spec)
 	}
 	if f.writeShrd {
 		fr.SetPristine(fr.Data[:n])
@@ -338,9 +339,12 @@ func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64, spec bool) bool
 	b.Busy(fs.opt.APICostPerPage)
 	fp.FinishInit(fr.Index)
 	fp.Unref()
-	if spec {
+	if spec != pcache.SpecNone {
 		fs.prefetchIssued.Add(1)
 		fs.specPending.Add(1)
+		if spec == pcache.SpecReplay {
+			fs.replayIssued.Add(1)
+		}
 		fs.record(b, trace.OpPrefetch, f.path, pageIdx*fs.opt.PageSize, fs.opt.PageSize, start, nil)
 	}
 	return true
@@ -354,16 +358,17 @@ func (fs *FS) prefetchPage(b *gpu.Block, f *file, pageIdx int64, spec bool) bool
 // resident or in flight) split the run; a dry frame pool stops the span —
 // speculation never evicts.
 func (fs *FS) prefetchSpan(b *gpu.Block, f *file, start, count int64) {
-	fs.spanFetch(b, f, start, count, true, fs.lane(b))
+	fs.spanFetch(b, f, start, count, pcache.SpecPending, fs.lane(b))
 }
 
 // spanFetch is the engine behind prefetchSpan, parameterized so the
-// warp-read path can reuse it: spec selects speculative accounting
-// (prefetch counters, the Spec flag, the OpPrefetch trace), and cli is the
+// warp-read and history-replay paths can reuse it: spec selects the
+// speculation state (prefetch counters, the Spec flag, the OpPrefetch
+// trace — pcache.SpecNone for known-needed warp reads), and cli is the
 // syscall view the vectored RPCs ride — gpread_warp passes a
 // warp-granularity view so its coalesced descriptors are stamped GranWarp
 // on the wire.
-func (fs *FS) spanFetch(b *gpu.Block, f *file, start, count int64, spec bool, cli *gsys.Client) {
+func (fs *FS) spanFetch(b *gpu.Block, f *file, start, count int64, spec int32, cli *gsys.Client) {
 	fc := f.fc
 	ps := fs.opt.PageSize
 
@@ -404,8 +409,8 @@ func (fs *FS) spanFetch(b *gpu.Block, f *file, start, count int64, spec bool, cl
 			cl.fr.ValidBytes.Store(int64(n))
 			cl.fr.ReadyAt.Store(int64(done))
 			cl.fr.Prefetched.Store(true)
-			if spec {
-				cl.fr.Spec.Store(pcache.SpecPending)
+			if spec != pcache.SpecNone {
+				cl.fr.Spec.Store(spec)
 			}
 			if f.writeShrd {
 				cl.fr.SetPristine(cl.fr.Data[:n])
@@ -418,9 +423,12 @@ func (fs *FS) spanFetch(b *gpu.Block, f *file, start, count int64, spec bool, cl
 			cl.fp.Unref()
 		}
 		b.Busy(fs.opt.APICostPerPage)
-		if spec {
+		if spec != pcache.SpecNone {
 			fs.prefetchIssued.Add(int64(len(run)))
 			fs.specPending.Add(int64(len(run)))
+			if spec == pcache.SpecReplay {
+				fs.replayIssued.Add(int64(len(run)))
+			}
 			fs.record(b, trace.OpPrefetch, f.path, runFirst*ps, int64(len(run))*ps, issueStart, nil)
 		}
 		run = run[:0]

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"gpufs/internal/core/pcache"
 	"gpufs/internal/faults"
 	"gpufs/internal/gpu"
 )
@@ -148,7 +149,7 @@ func TestPrefetchNeverEvictsFullCache(t *testing.T) {
 		defer fs.Close(b, fdB)
 		fB := fs.fds[fdB]
 		allocs := fs.cache.Allocs()
-		if fs.prefetchPage(b, fB, 0, true) {
+		if fs.prefetchPage(b, fB, 0, pcache.SpecPending) {
 			t.Error("prefetchPage launched a fetch with a full pool")
 		}
 		fs.prefetchSpan(b, fB, 0, 4)

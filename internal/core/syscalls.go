@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"gpufs/internal/core/pcache"
 	"gpufs/internal/gpu"
 	"gpufs/internal/gsys"
 	"gpufs/internal/hostfs"
@@ -257,7 +258,7 @@ func (fs *FS) warpSpanRead(b *gpu.Block, f *file, warp []WarpReq) (int64, error)
 			n = budget
 		}
 		if n > 0 {
-			fs.spanFetch(b, f, firstPage+1, n, false, fs.lane(b).Gran(gsys.GranWarp))
+			fs.spanFetch(b, f, firstPage+1, n, pcache.SpecNone, fs.lane(b).Gran(gsys.GranWarp))
 		}
 	}
 

@@ -137,6 +137,31 @@ func quantile(s Sample, q float64) float64 {
 	return 0
 }
 
+// Quantile estimates the q-th quantile of the named histogram family,
+// merged across every label set, in the family's export unit (seconds for
+// duration histograms). The second return is the merged sample count.
+// (0, 0) when the registry is nil or the family is absent or empty —
+// callers distinguish "no data" by the count. Estimation is upper-bound
+// attribution over the log-linear buckets, like the end-of-run summary.
+func (r *Registry) Quantile(name string, q float64) (float64, int64) {
+	if r == nil {
+		return 0, 0
+	}
+	var fam []Sample
+	var count int64
+	for _, s := range r.Snapshot() {
+		if s.Name == name && s.Kind == "histogram" {
+			fam = append(fam, s)
+			count += s.Count
+		}
+	}
+	if len(fam) == 0 || count == 0 {
+		return 0, 0
+	}
+	merged := Sample{Kind: "histogram", Count: count, Buckets: mergeCumulative(fam)}
+	return quantile(merged, q), count
+}
+
 // subsystemOf extracts the subsystem token from a metric name of the
 // documented gpufs_<subsystem>_... schema ("" otherwise).
 func subsystemOf(name string) string {

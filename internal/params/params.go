@@ -144,6 +144,19 @@ type Config struct {
 	// speculation. On by default; false restores the PR-3 behavior
 	// bit-identically (ReadAheadPages then governs the greedy window).
 	ReadAheadAdaptive bool
+	// HistoryPrefetch layers a per-file access-history engine over the
+	// adaptive detector: each open records its page-access footprint (the
+	// ordered first-touch burst plus confirmed detector strides) into a
+	// compact profile kept in a bounded FS-level LRU table, keyed by path
+	// and validated against file size and generation. A re-open replays
+	// the profile — the burst is pre-warmed through vectored read RPCs
+	// before demand reads arrive and detector slots start with their
+	// previously confirmed strides — with replay depth feedback-controlled
+	// by the used/wasted prefetch counters so a changed access pattern
+	// stands the engine down within one open. On by default; false
+	// disables recording and replay bit-identically (requires
+	// ReadAheadAdaptive to have any effect on stride seeding).
+	HistoryPrefetch bool
 	// CleanerWorkers is the number of background writeback-cleaner lanes
 	// per GPU. When a low watermark on free buffer-cache frames is
 	// crossed, the cleaner writes cold dirty pages back and pre-evicts
@@ -248,6 +261,7 @@ func Default() Config {
 		RPCPollInterval:     10 * simtime.Microsecond,
 		RPCHandleCost:       12 * simtime.Microsecond,
 		ReadAheadAdaptive:   true,
+		HistoryPrefetch:     true,
 		CleanerWorkers:      1,
 		ZeroCopyRead:        true,
 		FrameShards:         0, // auto: one shard per multiprocessor

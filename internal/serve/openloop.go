@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"gpufs/internal/simtime"
+)
+
+// Open-loop load generation (ISSUE 9): unlike the closed-loop drivers
+// elsewhere in this package — which submit the next job only after the
+// previous one completes, so offered load self-throttles to whatever the
+// machine sustains — an open-loop generator draws arrival instants from a
+// Poisson process on VIRTUAL time and submits on schedule regardless of
+// the server's progress. Past the saturation point the backlog (and the
+// measured queueing latency) grows without bound, which is precisely how
+// a saturation sweep finds the max sustainable jobs/s: closed loops hide
+// the knee, open loops expose it.
+
+// OpenLoopConfig parameterizes one open-loop run.
+type OpenLoopConfig struct {
+	// Jobs is the number of arrivals to generate.
+	Jobs int
+	// Rate is the offered load in jobs per virtual second, across all
+	// tenants (arrival gaps are Exp(1/Rate)).
+	Rate float64
+	// Seed feeds the arrival-process PRNG; equal seeds generate equal
+	// schedules, so two sweeps at the same rate are comparable.
+	Seed int64
+	// Job maps the i-th arrival to its tenant and spec (the caller
+	// decides the tenant population and the job mix).
+	Job func(i int) (tenant string, spec Job)
+}
+
+// OpenLoopResult summarizes one open-loop run.
+type OpenLoopResult struct {
+	// Offered counts generated arrivals; Admitted and Rejected partition
+	// them at admission control (an open loop sheds rejected jobs — no
+	// retry — so Rejected is the overload signal).
+	Offered, Admitted, Rejected int
+	// Completed and Failed partition admitted jobs by outcome.
+	Completed, Failed int64
+	// Horizon is the last arrival's scheduled instant; End is the
+	// server's virtual time once every admitted job finished. Achieved
+	// throughput is Completed over max(Horizon, End).
+	Horizon, End simtime.Time
+}
+
+// AchievedRate is the realized throughput in jobs per virtual second:
+// completions over the span from time zero to the later of the arrival
+// horizon and the last completion.
+func (r OpenLoopResult) AchievedRate() float64 {
+	span := r.Horizon
+	if r.End > span {
+		span = r.End
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / span.Seconds()
+}
+
+// RunOpenLoop drives srv with cfg.Jobs Poisson arrivals at cfg.Rate,
+// blocking until every admitted job completes. Arrivals are paced with
+// WaitUntil — virtual time leaps across idle gaps and queues behind busy
+// ones — and submitted with SubmitAt, so each job's measured latency
+// starts at its scheduled arrival instant even when the machine has
+// fallen behind the schedule.
+func RunOpenLoop(srv *Server, cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if cfg.Jobs <= 0 || cfg.Rate <= 0 || cfg.Job == nil {
+		return OpenLoopResult{}, fmt.Errorf("serve: open loop needs Jobs, Rate, and Job")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var (
+		res       OpenLoopResult
+		wg        sync.WaitGroup
+		completed atomic.Int64
+		failed    atomic.Int64
+	)
+	at := simtime.Time(0)
+	for i := 0; i < cfg.Jobs; i++ {
+		at = at.Add(simtime.Duration(rng.ExpFloat64() / cfg.Rate * 1e9))
+		srv.WaitUntil(at)
+		tenant, spec := cfg.Job(i)
+		res.Offered++
+		fut, err := srv.SubmitAt(tenant, spec, at)
+		if err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				res.Rejected++
+				continue
+			}
+			return res, err
+		}
+		res.Admitted++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r := fut.Wait(); r.Err != nil {
+				failed.Add(1)
+			} else {
+				completed.Add(1)
+			}
+		}()
+	}
+	res.Horizon = at
+	wg.Wait()
+	res.Completed = completed.Load()
+	res.Failed = failed.Load()
+	res.End = srv.Now()
+	return res, nil
+}

@@ -381,16 +381,9 @@ func (s *Server) Now() simtime.Time { return simtime.Time(s.vnow.Load()) }
 // carrying a retry-after hint when the tenant's queue is full, or
 // ErrDraining after Drain began.
 func (s *Server) Submit(tenantName string, spec Job) (*Future, error) {
-	if spec.Path == "" {
-		return nil, fmt.Errorf("%w: empty path", ErrBadJob)
+	if err := validateJob(spec); err != nil {
+		return nil, err
 	}
-	if (spec.Kind == JobGrep || spec.Kind == JobSearch) && spec.Word == "" {
-		return nil, fmt.Errorf("%w: %s needs a word", ErrBadJob, spec.Kind)
-	}
-	if spec.Kind > JobTransform {
-		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadJob, int(spec.Kind))
-	}
-
 	s.mu.Lock()
 	fut, g, err := s.enqueueLocked(tenantName, spec)
 	s.mu.Unlock()
@@ -406,10 +399,79 @@ func (s *Server) Submit(tenantName string, spec Job) (*Future, error) {
 	return fut, nil
 }
 
+// SubmitAt is Submit with an explicit virtual arrival instant, for
+// open-loop drivers whose arrival schedule is generated independently of
+// the server's progress (Poisson arrivals, ISSUE 9's saturation bench).
+// The job's latency — and its deadline, if any — is measured from at, so
+// when the machine has fallen behind the arrival process (vnow past at),
+// the time spent waiting to be submitted counts as queueing delay, which
+// is exactly the signal a saturation sweep is after. Callers generate
+// arrivals in nondecreasing order and pace them with WaitUntil.
+func (s *Server) SubmitAt(tenantName string, spec Job, at simtime.Time) (*Future, error) {
+	if err := validateJob(spec); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	fut, g, err := s.enqueueAtLocked(tenantName, spec, at)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if s.tr.Enabled() {
+		s.tr.Record(trace.Event{
+			GPU: g, Op: trace.OpEnqueue, Path: spec.Path,
+			Start: at, End: at,
+		})
+	}
+	return fut, nil
+}
+
+// WaitUntil blocks until the server's virtual time reaches at. While work
+// is queued or in flight it waits for completions to advance the clock;
+// once the machine goes idle short of at, virtual time leaps forward —
+// an idle gap between open-loop arrivals costs no simulated work, like a
+// sleeping load generator.
+func (s *Server) WaitUntil(at simtime.Time) {
+	s.mu.Lock()
+	for simtime.Time(s.vnow.Load()) < at {
+		if s.idleLocked() {
+			for {
+				cur := s.vnow.Load()
+				if int64(at) <= cur || s.vnow.CompareAndSwap(cur, int64(at)) {
+					break
+				}
+			}
+			break
+		}
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// validateJob is the Submit-time spec check shared by Submit and SubmitAt.
+func validateJob(spec Job) error {
+	if spec.Path == "" {
+		return fmt.Errorf("%w: empty path", ErrBadJob)
+	}
+	if (spec.Kind == JobGrep || spec.Kind == JobSearch) && spec.Word == "" {
+		return fmt.Errorf("%w: %s needs a word", ErrBadJob, spec.Kind)
+	}
+	if spec.Kind > JobTransform {
+		return fmt.Errorf("%w: unknown kind %d", ErrBadJob, int(spec.Kind))
+	}
+	return nil
+}
+
 // enqueueLocked is Submit's admission + placement step, callable with
 // s.mu held so several jobs can be enqueued atomically (one scheduling
 // round sees them all). It broadcasts to wake workers on success.
 func (s *Server) enqueueLocked(tenantName string, spec Job) (*Future, int, error) {
+	return s.enqueueAtLocked(tenantName, spec, simtime.Time(s.vnow.Load()))
+}
+
+// enqueueAtLocked is enqueueLocked with an explicit arrival stamp (see
+// SubmitAt).
+func (s *Server) enqueueAtLocked(tenantName string, spec Job, arrival simtime.Time) (*Future, int, error) {
 	if s.draining || s.closed {
 		return nil, -1, ErrDraining
 	}
@@ -436,7 +498,7 @@ func (s *Server) enqueueLocked(tenantName string, spec Job) (*Future, int, error
 		tenant:  tenantName,
 		spec:    spec,
 		fut:     &Future{ch: make(chan Result, 1)},
-		arrival: simtime.Time(s.vnow.Load()),
+		arrival: arrival,
 	}
 	if d := spec.Deadline; d > 0 {
 		j.deadline = j.arrival.Add(d)

@@ -44,6 +44,13 @@ type GPUStats struct {
 	// buffer-cache read-ahead counters (core.CacheStats): speculative
 	// pages launched, consumed by a demand access, and reclaimed unused.
 	PrefetchIssued, PrefetchUsed, PrefetchWasted int64
+	// ReplayIssued/ReplayUsed/ReplayWasted are the history-prefetch
+	// subset of the counters above (pages issued by profile replay);
+	// HistoryReplays counts opens that replayed a recorded profile and
+	// HistoryInvalidations counts profiles dropped because the host copy
+	// changed between opens. All 0 with HistoryPrefetch off.
+	ReplayIssued, ReplayUsed, ReplayWasted int64
+	HistoryReplays, HistoryInvalidations   int64
 	// CleanedPages counts pages the background writeback cleaner wrote
 	// back or pre-evicted off the fault critical path.
 	CleanedPages int64
@@ -96,6 +103,11 @@ func (s *Server) Stats() Stats {
 		st.GPUs[g].PrefetchUsed = cs.PrefetchUsed
 		st.GPUs[g].PrefetchWasted = cs.PrefetchWasted
 		st.GPUs[g].CleanedPages = cs.CleanedPages
+		st.GPUs[g].ReplayIssued = cs.ReplayIssued
+		st.GPUs[g].ReplayUsed = cs.ReplayUsed
+		st.GPUs[g].ReplayWasted = cs.ReplayWasted
+		st.GPUs[g].HistoryReplays = cs.HistoryReplays
+		st.GPUs[g].HistoryInvalidations = cs.HistoryInvalidations
 		st.GPUs[g].ZeroCopyReads = s.sys.GPU(g).FS().ZeroCopyReads()
 		st.GPUs[g].FrameSteals = s.sys.GPU(g).FS().FrameSteals()
 	}
@@ -212,6 +224,18 @@ func (st Stats) String() string {
 	}
 	if zc > 0 || steals > 0 {
 		fmt.Fprintf(&b, "hot path: %d zero-copy hit reads, %d cross-shard frame steals\n", zc, steals)
+	}
+	var rIssued, rUsed, rWasted, hReplays, hInval int64
+	for _, g := range st.GPUs {
+		rIssued += g.ReplayIssued
+		rUsed += g.ReplayUsed
+		rWasted += g.ReplayWasted
+		hReplays += g.HistoryReplays
+		hInval += g.HistoryInvalidations
+	}
+	if hReplays > 0 || hInval > 0 {
+		fmt.Fprintf(&b, "history: %d profile replays (%d pages, %d used, %d wasted), %d invalidations\n",
+			hReplays, rIssued, rUsed, rWasted, hInval)
 	}
 	if len(st.Latencies) > 0 {
 		fmt.Fprintf(&b, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
