@@ -19,12 +19,20 @@
 #                8 tenants over 2 GPUs, race-enabled, fixed seeds; also
 #                the fault and GPU-restart variants.
 #   fleet      — the multi-host control plane pack on its own: the
-#                300-seed fleet chaos oracle plus the model-based
-#                scheduler conformance suite, race-enabled.
+#                300-seed fleet chaos oracle (plain and migrate-first
+#                variants) plus the model-based scheduler conformance
+#                suite, race-enabled. GPUFS_MIGRATE_ON_DRAIN=1 (the
+#                nightly CI setting) flips the plain sweep to
+#                migrate-first too.
 #   fleet-demo — gpufs-serve -hosts 4: inject a fatal XID mid-traffic,
 #                show cordon/drain/replace, fail if any admitted job is
 #                lost or fault-phase throughput drops below 60% of
 #                steady state.
+#   migrate    — gpufs-serve -hosts 4 -migrate: cordon a healthy host
+#                mid-traffic and live-migrate it (checkpoint, restore,
+#                warm replacement); fail if any admitted job is lost, no
+#                migration happened, or fewer than 80% of the jobs in
+#                flight at the cordon finish in place on the old host.
 #   bench-smoke — the Readahead policy, syscall Ordering, hot-path
 #                Contention, and open-loop Saturation experiments at
 #                1/256 scale, one rep: a seconds-long CI check that the
@@ -34,7 +42,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 fuzz-smoke stress bench bench-smoke soak fleet fleet-demo
+.PHONY: tier1 tier2 fuzz-smoke stress bench bench-smoke soak fleet fleet-demo migrate
 
 tier1:
 	$(GO) build ./...
@@ -52,10 +60,12 @@ tier2:
 		-mutexprofile contention-mutex.pprof \
 		-blockprofile contention-block.pprof ./internal/bench
 	$(GO) run ./cmd/gpufs-serve -hosts 4 >/dev/null
+	$(GO) run ./cmd/gpufs-serve -hosts 4 -migrate >/dev/null
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRadixTree -fuzztime 30s ./internal/core/radix
 	$(GO) test -run '^$$' -fuzz FuzzSyscallFrame -fuzztime 30s ./internal/gsys
+	$(GO) test -run '^$$' -fuzz FuzzCkptImage -fuzztime 30s ./internal/ckpt
 
 stress:
 	$(GO) test -race -count=1 -run TestFaultStressOracle ./internal/core
@@ -68,6 +78,9 @@ fleet:
 
 fleet-demo:
 	$(GO) run ./cmd/gpufs-serve -hosts 4
+
+migrate:
+	$(GO) run ./cmd/gpufs-serve -hosts 4 -migrate
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -37,6 +37,12 @@ func TestStrongOrderingBitIdenticalBaseline(t *testing.T) {
 		// no recorder or replay state is allocated and the timeline must be
 		// bit-identical to the pre-history build.
 		cfg.HistoryPrefetch = false
+		// And the checkpoint engine (ISSUE 10): with no capture installed
+		// its entire hot-path footprint is one nil atomic load on the
+		// gwrite path, and the zero-default byte budget allocates nothing.
+		// Migration is a fleet-level policy (MigrateOnDrain, default off)
+		// that never engages single-host — this timeline must not move.
+		cfg.CkptMaxBytes = 0
 		sys, err := gpufs.NewSystem(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -12,6 +12,14 @@
 // table, and the phase throughput ratio, and exits non-zero if any
 // admitted job was lost, no remediation happened, or the fault-phase rate
 // fell below 60% of steady state.
+//
+// -migrate swaps the middle phase for a live-migration demo: instead of a
+// fatal XID, host 0 is cordoned for planned maintenance (a fatal XID
+// would rightly make the remediator distrust the device's memory and
+// refuse to migrate), the remediator checkpoints it while its in-flight
+// batches finish, and the image is restored onto the replacement. Extra
+// exit gates: at least one migration completed, and at least 80% of the
+// jobs in flight at cordon time finished in place without resubmission.
 package main
 
 import (
@@ -41,6 +49,7 @@ type fleetParams struct {
 	scale                             float64
 	seed                              int64
 	faults                            bool
+	migrate                           bool
 	metricsOut, metricsNDJSON         string
 }
 
@@ -82,10 +91,11 @@ func runFleet(p fleetParams) {
 		}
 	}
 
-	// Wrap the factory to retain each slot's current injector, so the demo
-	// can attack the machine actually in the slot.
+	// Wrap the factory to retain each slot's current injector and backend,
+	// so the demo can attack (or observe) the machine actually in the slot.
 	var injMu sync.Mutex
 	injs := make(map[int]*faults.Injector)
+	backends := make(map[int]serve.Backend)
 	inner := fleet.SimHostFactory(fleet.SimHostConfig{
 		Scale:   p.scale,
 		NumGPUs: p.gpus,
@@ -110,6 +120,7 @@ func runFleet(p fleetParams) {
 		if err == nil {
 			injMu.Lock()
 			injs[hostID] = inj
+			backends[hostID] = b
 			injMu.Unlock()
 		}
 		return b, inj, err
@@ -123,6 +134,7 @@ func runFleet(p fleetParams) {
 		Metrics:           reg,
 		LatencyFactor:     32,
 		LatencyMinSamples: 128,
+		MigrateOnDrain:    p.migrate,
 	}, p.hosts, factory)
 	if err != nil {
 		fatal(err)
@@ -132,17 +144,36 @@ func runFleet(p fleetParams) {
 	if jobsPerPhase < 1 {
 		jobsPerPhase = 1
 	}
-	fmt.Printf("gpufs-serve fleet: %d hosts × %d GPU(s), %d tenants × 3×%d jobs (%d outstanding each), policy %v, batch %d, faults %v\n",
-		p.hosts, p.gpus, p.tenants, jobsPerPhase, p.outstanding, p.pol, p.batch, p.faults)
+	mode := "faults"
+	if p.migrate {
+		mode = "migrate"
+	}
+	fmt.Printf("gpufs-serve fleet: %d hosts × %d GPU(s), %d tenants × 3×%d jobs (%d outstanding each), policy %v, batch %d, %s demo\n",
+		p.hosts, p.gpus, p.tenants, jobsPerPhase, p.outstanding, p.pol, p.batch, mode)
 
+	// strikeSample is host 0's serving state the instant before the demo
+	// strikes it, plus the (soon to be replaced) backend so the survival
+	// fraction can be measured against the same incarnation afterwards.
+	type strikeSample struct {
+		backend  serve.Backend
+		inflight int
+		final    int64 // Completed()+Failed() at strike time
+	}
+	strikeCh := make(chan strikeSample, 1)
+
+	phases := []string{"steady", "fault", "recovered"}
+	if p.migrate {
+		phases[1] = "migrate"
+	}
 	type phaseStat struct {
 		name              string
 		completed, failed int64
 		elapsed           time.Duration
 	}
 	var stats []phaseStat
-	for pi, name := range []string{"steady", "fault", "recovered"} {
-		if name == "fault" {
+	for pi, name := range phases {
+		switch name {
+		case "fault":
 			// Strike mid-phase, while host 0 holds a queue: the drain then
 			// hands real jobs back for re-routing, with traffic still
 			// flowing.
@@ -154,6 +185,24 @@ func runFleet(p fleetParams) {
 				inj.InjectXID(0, 79, at)
 			}(simtime.Time(pi))
 			fmt.Println("\n>> injecting XID 79 (GPU has fallen off the bus) on host 0 mid-phase")
+		case "migrate":
+			// Cordon mid-phase for planned maintenance. Deliberately not an
+			// XID: a fatal XID taints the device's memory and the remediator
+			// would (correctly) refuse to trust a checkpoint taken from it.
+			go func() {
+				time.Sleep(3 * time.Millisecond)
+				injMu.Lock()
+				b := backends[0]
+				injMu.Unlock()
+				st := b.Stats()
+				strikeCh <- strikeSample{
+					backend:  b,
+					inflight: st.Inflight,
+					final:    st.Completed() + st.Failed(),
+				}
+				cp.Cordon(0, "planned migration (demo)")
+			}()
+			fmt.Println("\n>> cordoning host 0 for planned live migration mid-phase")
 		}
 		start := time.Now()
 		completed, failed := runFleetPhase(cp, p, paths, words, jobsPerPhase, pi)
@@ -162,7 +211,7 @@ func runFleet(p fleetParams) {
 		rate := float64(st.completed) / st.elapsed.Seconds()
 		fmt.Printf("phase %-9s %5d jobs, %d failed, %8.3fms wall, %8.0f jobs/s\n",
 			st.name, st.completed, st.failed, float64(st.elapsed.Microseconds())/1000, rate)
-		if name == "fault" {
+		if pi == 1 {
 			// Let the replacement finish before measuring the recovered
 			// rate, so phase 3 demonstrates the rebuilt fleet.
 			cp.AwaitRemediation()
@@ -186,8 +235,26 @@ func runFleet(p fleetParams) {
 	}
 
 	lost := snap.Admitted - snap.Delivered()
-	fmt.Printf("\nfleet: %d admitted, %d succeeded, %d failed, %d re-routed, %d remediations, %d dead hosts\n",
-		snap.Admitted, snap.Succeeded, snap.Failed, snap.Rebalanced, snap.Remediations, snap.DeadHosts)
+	fmt.Printf("\nfleet: %d admitted, %d succeeded, %d failed, %d re-routed, %d remediations (%d migrations), %d dead hosts\n",
+		snap.Admitted, snap.Succeeded, snap.Failed, snap.Rebalanced, snap.Remediations, snap.Migrations, snap.DeadHosts)
+
+	// In-flight survival: of the jobs host 0 was actively running at
+	// cordon time, how many finished in place on the old incarnation
+	// (rather than dying and being resubmitted elsewhere)?
+	survival := 1.0
+	if p.migrate {
+		s := <-strikeCh
+		end := s.backend.Stats()
+		finishedInPlace := end.Completed() + end.Failed() - s.final
+		if s.inflight > 0 {
+			survival = float64(finishedInPlace) / float64(s.inflight)
+			if survival > 1 {
+				survival = 1
+			}
+		}
+		fmt.Printf("migration: %d jobs in flight at cordon, %d finished in place on the old host (%.0f%% survival)\n",
+			s.inflight, finishedInPlace, survival*100)
+	}
 
 	steadyRate := float64(stats[0].completed) / stats[0].elapsed.Seconds()
 	faultRate := float64(stats[1].completed) / stats[1].elapsed.Seconds()
@@ -207,8 +274,22 @@ func runFleet(p fleetParams) {
 		fmt.Fprintf(os.Stderr, "gpufs-serve fleet: FAIL: fault-phase throughput %.0f%% of steady state (need >= 60%%)\n", ratio*100)
 		ok = false
 	}
+	if p.migrate {
+		if snap.Migrations < 1 {
+			fmt.Fprintln(os.Stderr, "gpufs-serve fleet: FAIL: no live migration completed (checkpoint fell back to cold restart)")
+			ok = false
+		}
+		if survival < 0.8 {
+			fmt.Fprintf(os.Stderr, "gpufs-serve fleet: FAIL: only %.0f%% of in-flight jobs survived migration without resubmission (need >= 80%%)\n", survival*100)
+			ok = false
+		}
+	}
 	if ok {
-		fmt.Println("fleet demo OK: host cordoned, drained, and replaced; zero admitted jobs lost")
+		if p.migrate {
+			fmt.Println("fleet demo OK: host checkpointed and live-migrated onto its replacement; zero admitted jobs lost")
+		} else {
+			fmt.Println("fleet demo OK: host cordoned, drained, and replaced; zero admitted jobs lost")
+		}
 	}
 
 	if reg != nil {

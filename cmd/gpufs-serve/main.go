@@ -21,6 +21,13 @@
 // hosts, a fatal XID is injected mid-run, and the run demonstrates
 // cordon/drain/replace remediation with zero admitted jobs lost.
 //
+// -migrate (fleet mode only) turns the middle phase into a live-migration
+// demo: host 0 is cordoned for planned maintenance, checkpointed while
+// its in-flight batches finish, and the image is restored onto its
+// replacement, which enters rotation warm. The run exits non-zero unless
+// the migration happened, no admitted job was lost, and at least 80% of
+// the jobs in flight at cordon time completed without resubmission.
+//
 // -pipeline runs the pipe-connected two-stage kernel workload instead of
 // the closed-loop soak: a producer kernel on GPU 0 uppercases the corpus
 // through the GPUfs API and streams it over a gpipe to a consumer kernel
@@ -58,6 +65,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0/256, "uniform scale factor for capacities")
 	seed := flag.Int64("seed", 1, "workload seed")
 	faults := flag.Bool("faults", false, "inject the standard RPC/host fault mix")
+	migrate := flag.Bool("migrate", false, "fleet mode: live-migration demo — checkpoint host 0 and restore onto its replacement instead of a cold replace")
 	ordering := flag.String("ordering", "", `syscall ordering class: "strong" or "relaxed" (empty = config default)`)
 	pipeline := flag.Bool("pipeline", false, "run the two-stage gpipe pipeline workload instead of the soak")
 	pipelineGran := flag.String("pipeline-gran", "thread", "pipeline producer read granularity: thread, warp, or block")
@@ -106,11 +114,15 @@ func main() {
 		usageError("-policy must be affinity or rr, got %q", *policy)
 	}
 
+	if *migrate && *hosts < 2 {
+		usageError("-migrate needs fleet mode (-hosts >= 2), got -hosts %d", *hosts)
+	}
 	if *hosts > 1 {
 		runFleet(fleetParams{
 			hosts: *hosts, tenants: *tenants, outstanding: *outstanding,
 			jobs: *jobs, gpus: *gpus, files: *files, batch: *batch,
 			pol: pol, scale: *scale, seed: *seed, faults: *faults,
+			migrate:    *migrate,
 			metricsOut: *metricsOut, metricsNDJSON: *metricsNDJSON,
 		})
 		return

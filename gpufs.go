@@ -38,6 +38,7 @@ package gpufs
 import (
 	"fmt"
 
+	"gpufs/internal/ckpt"
 	"gpufs/internal/core"
 	"gpufs/internal/faults"
 	"gpufs/internal/gpu"
@@ -246,6 +247,7 @@ func NewSystemWithMetrics(cfg Config, reg *metrics.Registry) (*System, error) {
 			CleanerWorkers:       cfg.CleanerWorkers,
 			DisableFastReopen:    cfg.DisableFastReopen,
 			ZeroCopyRead:         cfg.ZeroCopyRead,
+			CkptMaxBytes:         cfg.CkptMaxBytes,
 			FrameShards:          frameShards,
 			Metrics:              reg,
 			Syscalls:             syscalls,
@@ -396,6 +398,25 @@ func (g *GPU) Restart() {
 	g.dev.Launch(0, 1, 1, func(b *gpu.Block) error {
 		g.fs.Restart(b)
 		return nil
+	})
+}
+
+// CheckpointImage captures this GPU's GPUfs state — buffer cache, file
+// tables, history profiles — into an image, copy-on-write against any
+// kernels still running (ISSUE 10). It returns the image and the capture
+// actor's virtual end time. Use serve.Server.Checkpoint for a whole-host
+// capture with queue freezing.
+func (g *GPU) CheckpointImage(start Time) (*ckpt.FSImage, Time, error) {
+	return g.fs.CheckpointImage(start)
+}
+
+// RestoreImage materializes a checkpoint image onto this (fresh) GPU's
+// GPUfs instance. Like Restart, the work is host-driven: a throwaway
+// single-block launch carries the restore's virtual cost, and the
+// returned time is the restore's virtual completion.
+func (g *GPU) RestoreImage(img *ckpt.FSImage) (Time, error) {
+	return g.dev.Launch(0, 1, 1, func(b *gpu.Block) error {
+		return g.fs.RestoreImage(b, img)
 	})
 }
 

@@ -1,0 +1,178 @@
+// Package ckpt defines the checkpoint image for a live gpufs host stack
+// and a self-contained binary codec for it (ISSUE 10).
+//
+// An Image is everything a replacement host needs to impersonate a
+// draining one without the tenants noticing: per-GPU buffer-cache
+// contents (dirty pages by value, clean pages by reference), the
+// closed-file fast-reopen table with its sticky errseq write errors, the
+// history-prefetch profiles, the host-brokered pipe table, and the
+// queued-job manifest handed to the fleet's exactly-once watchers.
+//
+// The capture protocol that fills an Image lives in internal/core (the
+// copy-on-write walk) and internal/serve (the queue freeze); this package
+// is deliberately leaf-level — plain data plus a codec — so that the
+// image can cross any boundary (fleet node, file on disk, fuzzer corpus)
+// without dragging the simulator along.
+//
+// Speculation rules (PhoenixOS-style validated speculation):
+//
+//   - Dirty pages are the correctness payload: they hold device writes
+//     the host file does not have yet. They are always copied by value
+//     and always restored.
+//   - Clean pages are an optimization: the host file holds the same
+//     bytes, so the image records only their indices and the restore
+//     re-fetches them through the new host's descriptor. At commit each
+//     file's (ino, generation) is validated against the live host; if
+//     the host moved underneath, the clean set is dropped (restore
+//     simply starts cold for that file) — never served stale.
+package ckpt
+
+import "errors"
+
+// ErrBudget is returned by a checkpoint whose captured bytes exceed the
+// configured CkptMaxBytes budget. The caller is expected to fall back to
+// drain+restart.
+var ErrBudget = errors.New("ckpt: image exceeds checkpoint byte budget")
+
+// Image is a whole-host checkpoint.
+type Image struct {
+	// SourceHost is the fleet slot the image was captured from (-1 when
+	// captured outside a fleet).
+	SourceHost int64
+	// CaptureStart and CaptureEnd bound the copy-on-write capture window
+	// in virtual nanoseconds on the source host's timeline.
+	CaptureStart int64
+	CaptureEnd   int64
+	// GPUs holds one FS image per GPU, index-aligned with the source
+	// host's GPU numbering.
+	GPUs []FSImage
+	// Pipes is the host-brokered pipe table. Pipes whose writers were
+	// still live at capture are marked Broken: restoring them replays the
+	// declared-writer EOF protocol's failure arm (clean EPIPE), never a
+	// silent truncation.
+	Pipes []PipeImage
+	// Queued is the manifest of jobs that were admitted but never
+	// dispatched on the source. They are NOT re-executed at restore: the
+	// source completed them with ErrHandedOff, and the fleet's
+	// exactly-once watchers re-route each one (affinity steers them to
+	// the restored host). The manifest exists for audit and metrics.
+	Queued []JobImage
+}
+
+// FSImage is one GPU's buffer-cache and open-file state.
+type FSImage struct {
+	GPU      int64
+	Files    []FileImage
+	Profiles []ProfileImage
+}
+
+// FileImage is one file's cached state: identity for validation, the
+// fast-reopen flags, the sticky deferred write error, and the page sets.
+type FileImage struct {
+	Path  string
+	Ino   int64
+	Gen   int64
+	Size  int64
+	Flags int64
+	// WbErr is the file's sticky errseq write-back error ("" = none),
+	// restored verbatim so the next gfsync/gclose on the new host still
+	// surfaces it.
+	WbErr string
+	// Dirty pages carry their bytes (value capture).
+	Dirty []PageImage
+	// Clean holds page indices captured by reference; dropped at commit
+	// if the host (ino, gen) validation fails.
+	Clean []int64
+}
+
+// PageImage is one dirty page's payload.
+type PageImage struct {
+	Index int64
+	Valid int64
+	Data  []byte
+}
+
+// ProfileImage is one history-prefetch profile (ISSUE 9 detector state).
+type ProfileImage struct {
+	Path    string
+	Size    int64
+	Gen     int64
+	Burst   []int64
+	Strides []StrideImage
+}
+
+// StrideImage is one confirmed read-ahead detector slot.
+type StrideImage struct {
+	Slot   int64
+	Stride int64
+	Window int64
+}
+
+// PipeImage is one host-brokered pipe's state.
+type PipeImage struct {
+	Name            string
+	Cap             int64
+	WritersDeclared int64
+	WritersAttached int64
+	WritersClosed   int64
+	ReaderClosed    bool
+	// Broken, when non-empty, restores the pipe in the broken state: the
+	// next read observes EPIPE before any buffered data. Live writers at
+	// capture force this — their unwritten tail cannot be reconstructed,
+	// and a pipe must fail loudly rather than deliver a truncated stream.
+	Broken   string
+	Chunks   [][]byte
+	BytesIn  int64
+	BytesOut int64
+}
+
+// JobImage is one queued job's manifest entry.
+type JobImage struct {
+	ID       int64
+	Tenant   string
+	Kind     int64
+	Path     string
+	Word     string
+	Deadline int64
+}
+
+// Bytes reports the page payload captured by value across the image —
+// the number the CkptMaxBytes budget is enforced against.
+func (img *Image) Bytes() int64 {
+	var n int64
+	for i := range img.GPUs {
+		for j := range img.GPUs[i].Files {
+			for k := range img.GPUs[i].Files[j].Dirty {
+				n += int64(len(img.GPUs[i].Files[j].Dirty[k].Data))
+			}
+		}
+	}
+	for i := range img.Pipes {
+		for _, c := range img.Pipes[i].Chunks {
+			n += int64(len(c))
+		}
+	}
+	return n
+}
+
+// DirtyPages counts value-captured pages across the image.
+func (img *Image) DirtyPages() int {
+	n := 0
+	for i := range img.GPUs {
+		for j := range img.GPUs[i].Files {
+			n += len(img.GPUs[i].Files[j].Dirty)
+		}
+	}
+	return n
+}
+
+// CleanPages counts by-reference pages that survived commit validation.
+func (img *Image) CleanPages() int {
+	n := 0
+	for i := range img.GPUs {
+		for j := range img.GPUs[i].Files {
+			n += len(img.GPUs[i].Files[j].Clean)
+		}
+	}
+	return n
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"gpufs/internal/ckpt"
+	"gpufs/internal/gpu"
+)
+
+// ckptPage returns the dirty PageImage for index idx, or nil.
+func ckptPage(fi *ckpt.FileImage, idx int64) *ckpt.PageImage {
+	for i := range fi.Dirty {
+		if fi.Dirty[i].Index == idx {
+			return &fi.Dirty[i]
+		}
+	}
+	return nil
+}
+
+func ckptHasClean(fi *ckpt.FileImage, idx int64) bool {
+	for _, c := range fi.Clean {
+		if c == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCkptRoundTrip is the basic capture/restore cycle: dirty pages travel
+// by value, clean pages by validated reference, and a reopen on the
+// restored host observes exactly the source's view.
+func TestCkptRoundTrip(t *testing.T) {
+	opt := defaultOpt()
+	h := newHarness(t, 1, opt)
+	fs := h.fss[0]
+	ps := int(opt.PageSize)
+
+	orig := pattern(3*ps, 1)
+	h.write(t, "/ck-a", orig)
+
+	overlay := pattern(ps, 99)
+	h.run(t, 0, func(b *gpu.Block) error {
+		fd, err := fs.Open(b, "/ck-a", O_RDWR)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, len(orig))
+		if _, err := fs.Read(b, fd, buf, 0); err != nil {
+			return err
+		}
+		if _, err := fs.Write(b, fd, overlay, int64(ps)); err != nil {
+			return err
+		}
+		return fs.Close(b, fd)
+	})
+
+	img, end, err := fs.CheckpointImage(0)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if end <= 0 {
+		t.Errorf("checkpoint actor clock did not advance: end=%v", end)
+	}
+	if len(img.Files) != 1 {
+		t.Fatalf("image has %d files, want 1", len(img.Files))
+	}
+	fi := &img.Files[0]
+	pg := ckptPage(fi, 1)
+	if pg == nil {
+		t.Fatalf("page 1 not captured dirty; dirty=%v clean=%v", len(fi.Dirty), fi.Clean)
+	}
+	if !bytes.Equal(pg.Data[:ps], overlay) {
+		t.Error("dirty page 1 content diverges from the written bytes")
+	}
+	if !ckptHasClean(fi, 0) || !ckptHasClean(fi, 2) {
+		t.Errorf("clean pages 0,2 not captured by reference: clean=%v", fi.Clean)
+	}
+	if ckptHasClean(fi, 1) {
+		t.Error("dirty page 1 also listed clean")
+	}
+	st := fs.CkptStats()
+	if st.PagesDirty < 1 || st.PagesClean < 2 || st.SnapshotBytes < int64(ps) {
+		t.Errorf("ckpt stats off: %+v", st)
+	}
+
+	// Restore onto a fresh host holding the ORIGINAL content (the dirty
+	// overlay never reached the source host — it is the image's payload).
+	h2 := newHarness(t, 1, opt)
+	h2.write(t, "/ck-a", orig)
+	h2.run(t, 0, func(b *gpu.Block) error {
+		return h2.fss[0].RestoreImage(b, img)
+	})
+
+	want := append([]byte(nil), orig...)
+	copy(want[ps:], overlay)
+	h2.run(t, 0, func(b *gpu.Block) error {
+		fd, err := h2.fss[0].Open(b, "/ck-a", O_RDWR)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, len(want))
+		n, err := h2.fss[0].Read(b, fd, buf, 0)
+		if err != nil {
+			return err
+		}
+		if n != len(want) || !bytes.Equal(buf[:n], want) {
+			t.Errorf("restored view diverges from source view (%d/%d bytes equal-len)", n, len(want))
+		}
+		return h2.fss[0].Close(b, fd)
+	})
+	// The restored host must not have adopted the dirty overlay: only a
+	// gfsync propagates.
+	if got := h2.read(t, "/ck-a"); !bytes.Equal(got, orig) {
+		t.Error("restore leaked dirty pages to the new host's file")
+	}
+}
+
+// TestCkptCoWPreWriteCut pins the copy-on-write cut: a gwrite racing the
+// snapshot must preserve the PRE-write content in the image, and the walk
+// must not overwrite that earlier cut with post-write bytes.
+func TestCkptCoWPreWriteCut(t *testing.T) {
+	opt := defaultOpt()
+	h := newHarness(t, 1, opt)
+	fs := h.fss[0]
+	ps := int(opt.PageSize)
+
+	h.write(t, "/ck-cow", pattern(2*ps, 3))
+	before := pattern(ps, 50)
+	after := pattern(ps, 51)
+
+	var fd int
+	h.run(t, 0, func(b *gpu.Block) error {
+		var err error
+		fd, err = fs.Open(b, "/ck-cow", O_RDWR)
+		if err != nil {
+			return err
+		}
+		_, err = fs.Write(b, fd, before, 0)
+		return err
+	})
+
+	ck, err := fs.BeginCheckpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This write lands while the capture is installed: the hook must copy
+	// the pre-write page before the new bytes overwrite it.
+	h.run(t, 0, func(b *gpu.Block) error {
+		_, err := fs.Write(b, fd, after, 0)
+		return err
+	})
+	ck.Walk()
+	img, err := ck.Commit()
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if len(img.Files) != 1 {
+		t.Fatalf("image has %d files, want 1", len(img.Files))
+	}
+	pg := ckptPage(&img.Files[0], 0)
+	if pg == nil {
+		t.Fatal("page 0 missing from the image")
+	}
+	if !bytes.Equal(pg.Data[:ps], before) {
+		if bytes.Equal(pg.Data[:ps], after) {
+			t.Fatal("image holds the POST-write content: the CoW cut failed")
+		}
+		t.Fatal("image page 0 matches neither pre- nor post-write content")
+	}
+	if st := fs.CkptStats(); st.CoWFaults < 1 {
+		t.Errorf("CoWFaults = %d, want >= 1", st.CoWFaults)
+	}
+	h.run(t, 0, func(b *gpu.Block) error { return fs.Close(b, fd) })
+}
+
+// TestCkptCoWCleanReference: a write hitting a still-clean page during the
+// capture records it by reference exactly once (hook and walk dedup
+// through the done set).
+func TestCkptCoWCleanReference(t *testing.T) {
+	opt := defaultOpt()
+	h := newHarness(t, 1, opt)
+	fs := h.fss[0]
+	ps := int(opt.PageSize)
+
+	h.write(t, "/ck-clean", pattern(2*ps, 9))
+	var fd int
+	h.run(t, 0, func(b *gpu.Block) error {
+		var err error
+		fd, err = fs.Open(b, "/ck-clean", O_RDWR)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 2*ps)
+		_, err = fs.Read(b, fd, buf, 0) // both pages resident, clean
+		return err
+	})
+
+	ck, err := fs.BeginCheckpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.run(t, 0, func(b *gpu.Block) error {
+		_, err := fs.Write(b, fd, pattern(ps, 77), 0)
+		return err
+	})
+	ck.Walk()
+	img, err := ck.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := &img.Files[0]
+	n := 0
+	for _, c := range fi.Clean {
+		if c == 0 {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("pre-write clean page 0 recorded %d times by reference, want 1 (clean=%v)", n, fi.Clean)
+	}
+	if ckptPage(fi, 0) != nil {
+		t.Error("page 0 was clean at the cut; it must not travel by value")
+	}
+	h.run(t, 0, func(b *gpu.Block) error { return fs.Close(b, fd) })
+}
+
+// TestCkptBudget: a capture exceeding CkptMaxBytes fails with ErrBudget
+// and uninstalls itself, leaving the hot path unhooked.
+func TestCkptBudget(t *testing.T) {
+	opt := defaultOpt()
+	opt.CkptMaxBytes = 1
+	h := newHarness(t, 1, opt)
+	fs := h.fss[0]
+
+	h.write(t, "/ck-budget", pattern(int(opt.PageSize), 4))
+	h.run(t, 0, func(b *gpu.Block) error {
+		fd, err := fs.Open(b, "/ck-budget", O_RDWR)
+		if err != nil {
+			return err
+		}
+		if _, err := fs.Write(b, fd, pattern(int(opt.PageSize), 5), 0); err != nil {
+			return err
+		}
+		return fs.Close(b, fd)
+	})
+
+	if _, _, err := fs.CheckpointImage(0); !errors.Is(err, ckpt.ErrBudget) {
+		t.Fatalf("checkpoint with 1-byte budget: err = %v, want ErrBudget", err)
+	}
+	if fs.capture.Load() != nil {
+		t.Fatal("failed checkpoint left the capture installed")
+	}
+}
+
+// TestCkptValidationDrop: a retired file whose host generation moved after
+// the GPU cached it is condemned data — the commit must drop it from the
+// image entirely (clean refs AND dirty pages), because the source's own
+// next reopen would discard that view.
+func TestCkptValidationDrop(t *testing.T) {
+	opt := defaultOpt()
+	h := newHarness(t, 1, opt)
+	fs := h.fss[0]
+	ps := int(opt.PageSize)
+
+	h.write(t, "/ck-stale", pattern(2*ps, 6))
+	h.run(t, 0, func(b *gpu.Block) error {
+		fd, err := fs.Open(b, "/ck-stale", O_RDWR)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, ps)
+		if _, err := fs.Read(b, fd, buf, 0); err != nil {
+			return err
+		}
+		if _, err := fs.Write(b, fd, pattern(ps, 7), int64(ps)); err != nil {
+			return err
+		}
+		return fs.Close(b, fd)
+	})
+
+	// External host write after the close: generation moves, the closed
+	// view is condemned.
+	h.write(t, "/ck-stale", pattern(2*ps, 8))
+
+	img, _, err := fs.CheckpointImage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Files {
+		if img.Files[i].Path == "/ck-stale" {
+			t.Fatalf("stale retired file still in the image: dirty=%d clean=%d",
+				len(img.Files[i].Dirty), len(img.Files[i].Clean))
+		}
+	}
+	if st := fs.CkptStats(); st.ValidationDrops < 1 {
+		t.Errorf("ValidationDrops = %d, want >= 1", st.ValidationDrops)
+	}
+}
+
+// TestCkptWbErrRoundTrip: the sticky write-back error mark survives the
+// migration — the tenant's first gfsync on the restored host still learns
+// the source's data never hit the disk.
+func TestCkptWbErrRoundTrip(t *testing.T) {
+	opt := defaultOpt()
+	h := newHarness(t, 1, opt)
+	fs := h.fss[0]
+	ps := int(opt.PageSize)
+
+	h.write(t, "/ck-wb", pattern(ps, 2))
+	var fd int
+	h.run(t, 0, func(b *gpu.Block) error {
+		var err error
+		fd, err = fs.Open(b, "/ck-wb", O_RDWR)
+		if err != nil {
+			return err
+		}
+		_, err = fs.Write(b, fd, pattern(ps, 3), 0)
+		return err
+	})
+	f, err := fs.lookupFd(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.fc.recordWriteErr(errors.New("simulated async write-back EIO"))
+
+	img, _, err := fs.CheckpointImage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Files) != 1 || img.Files[0].WbErr == "" {
+		t.Fatalf("errseq mark missing from the image: %+v", img.Files)
+	}
+	// Peeked, not consumed: the source still owes the error too.
+	h.run(t, 0, func(b *gpu.Block) error {
+		if err := fs.Fsync(b, fd); err == nil {
+			t.Error("source fsync after checkpoint lost the write-back error")
+		}
+		return fs.Close(b, fd)
+	})
+
+	h2 := newHarness(t, 1, opt)
+	h2.write(t, "/ck-wb", pattern(ps, 2))
+	h2.run(t, 0, func(b *gpu.Block) error {
+		return h2.fss[0].RestoreImage(b, img)
+	})
+	h2.run(t, 0, func(b *gpu.Block) error {
+		fd, err := h2.fss[0].Open(b, "/ck-wb", O_RDWR)
+		if err != nil {
+			return err
+		}
+		err = h2.fss[0].Fsync(b, fd)
+		if err == nil {
+			t.Error("restored host's first fsync did not surface the migrated write-back error")
+		} else if !strings.Contains(err.Error(), "simulated async write-back EIO") {
+			t.Errorf("restored fsync error = %v, want the source's mark", err)
+		}
+		return h2.fss[0].Close(b, fd)
+	})
+}
+
+// TestCkptHistoryProfileRoundTrip: the history-prefetch table migrates, so
+// the replacement host's first opens replay the source's footprints.
+func TestCkptHistoryProfileRoundTrip(t *testing.T) {
+	opt := defaultOpt()
+	opt.HistoryPrefetch = true
+	h := newHarness(t, 1, opt)
+	fs := h.fss[0]
+
+	prof := &histProfile{
+		size:    1 << 20,
+		gen:     1,
+		burst:   []int64{0, 1, 2, 7},
+		strides: []histStride{{slot: 3, stride: 2, window: 8}},
+	}
+	fs.history.store("/ck-hist", prof)
+
+	img, _, err := fs.CheckpointImage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Profiles) != 1 || img.Profiles[0].Path != "/ck-hist" {
+		t.Fatalf("profile not exported: %+v", img.Profiles)
+	}
+
+	h2 := newHarness(t, 1, opt)
+	h2.run(t, 0, func(b *gpu.Block) error {
+		return h2.fss[0].RestoreImage(b, img)
+	})
+	got := h2.fss[0].history.lookup("/ck-hist")
+	if got == nil {
+		t.Fatal("profile missing after restore")
+	}
+	if got.size != prof.size || got.gen != prof.gen ||
+		len(got.burst) != len(prof.burst) || len(got.strides) != 1 ||
+		got.strides[0] != prof.strides[0] {
+		t.Errorf("restored profile diverges: %+v vs %+v", got, prof)
+	}
+}
+
+// TestCkptBeginConflict: one capture at a time; Abort frees the slot.
+func TestCkptBeginConflict(t *testing.T) {
+	h := newHarness(t, 1, defaultOpt())
+	fs := h.fss[0]
+	ck, err := fs.BeginCheckpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.BeginCheckpoint(0); !errors.Is(err, ErrCheckpointActive) {
+		t.Fatalf("second begin: err = %v, want ErrCheckpointActive", err)
+	}
+	ck.Abort()
+	ck2, err := fs.BeginCheckpoint(0)
+	if err != nil {
+		t.Fatalf("begin after abort: %v", err)
+	}
+	ck2.Abort()
+}

@@ -128,6 +128,11 @@ type Options struct {
 	// allocator; lanes hash to shards and steal on empty. Values < 1
 	// select 1 (the single-LIFO allocator, bit-identical to PR 7).
 	FrameShards int
+	// CkptMaxBytes bounds the bytes a checkpoint may capture by value
+	// (dirty pages plus pipe buffers); a capture that would exceed it
+	// fails with ckpt.ErrBudget and the caller falls back to
+	// drain+restart. 0 means unlimited.
+	CkptMaxBytes int64
 	// Metrics, when non-nil, attaches this GPU's counters and latency
 	// histograms to the registry. Metrics are observation-only: they
 	// record virtual timestamps already computed by the simulation and
@@ -222,6 +227,20 @@ type FS struct {
 	warpReadCalls   atomic.Int64
 	warpCoalesced   atomic.Int64
 	warpDescriptors atomic.Int64
+
+	// capture is the in-progress checkpoint's copy-on-write rendezvous
+	// (ISSUE 10); nil whenever no checkpoint is running, which keeps the
+	// gwrite hot path at a single atomic load.
+	capture atomic.Pointer[ckptCapture]
+
+	// Checkpoint accounting (ISSUE 10): bytes captured by value, pages
+	// preserved by the write-fault hook, by-reference pages dropped at
+	// commit validation, and captured page counts by class.
+	ckptSnapshotBytes   atomic.Int64
+	ckptCoWFaults       atomic.Int64
+	ckptValidationDrops atomic.Int64
+	ckptPagesDirty      atomic.Int64
+	ckptPagesClean      atomic.Int64
 
 	// pipeNames maps pipe handles to names for tracing (guarded by mu).
 	pipeNames map[int64]string
@@ -425,6 +444,11 @@ func (fs *FS) attachMetrics(reg *metrics.Registry) {
 	reg.SetHelp("gpufs_core_replay_wasted_total", "Replayed pages reclaimed unconsumed")
 	reg.SetHelp("gpufs_core_history_replays_total", "Opens that replayed a recorded access profile")
 	reg.SetHelp("gpufs_core_history_invalidations_total", "Profiles dropped because the host copy changed between opens")
+	reg.SetHelp("gpufs_ckpt_snapshot_bytes_total", "Bytes captured by value into checkpoint images")
+	reg.SetHelp("gpufs_ckpt_cow_faults_total", "Pages preserved by the checkpoint copy-on-write write hook")
+	reg.SetHelp("gpufs_ckpt_validation_drops_total", "Speculated clean pages dropped at commit because the host moved")
+	reg.SetHelp("gpufs_ckpt_pages_dirty_total", "Dirty pages captured by value into checkpoint images")
+	reg.SetHelp("gpufs_ckpt_pages_clean_total", "Clean pages captured by reference that survived validation")
 
 	reg.CounterFunc("gpufs_core_cache_hits_total", fs.cacheHits.Load, "gpu", gpuL)
 	reg.CounterFunc("gpufs_core_cache_misses_total", fs.cacheMisses.Load, "gpu", gpuL)
@@ -446,6 +470,11 @@ func (fs *FS) attachMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("gpufs_core_replay_wasted_total", fs.replayWasted.Load, "gpu", gpuL)
 	reg.CounterFunc("gpufs_core_history_replays_total", fs.historyReplays.Load, "gpu", gpuL)
 	reg.CounterFunc("gpufs_core_history_invalidations_total", fs.historyInvalidations.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_ckpt_snapshot_bytes_total", fs.ckptSnapshotBytes.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_ckpt_cow_faults_total", fs.ckptCoWFaults.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_ckpt_validation_drops_total", fs.ckptValidationDrops.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_ckpt_pages_dirty_total", fs.ckptPagesDirty.Load, "gpu", gpuL)
+	reg.CounterFunc("gpufs_ckpt_pages_clean_total", fs.ckptPagesClean.Load, "gpu", gpuL)
 
 	m := &fsMetrics{op: make([]*metrics.Histogram, int(trace.OpPipeClose)+1)}
 	for _, op := range []trace.Op{
@@ -937,6 +966,32 @@ type CacheStats struct {
 	ReplayWasted         int64
 	HistoryReplays       int64
 	HistoryInvalidations int64
+}
+
+// CkptStats are the checkpoint engine's counters (ISSUE 10).
+type CkptStats struct {
+	// SnapshotBytes counts bytes captured by value into images.
+	SnapshotBytes int64
+	// CoWFaults counts pages preserved by the gwrite copy-on-write hook
+	// (writes that raced the snapshot walk).
+	CoWFaults int64
+	// ValidationDrops counts by-reference clean pages dropped at commit
+	// because the host (ino, generation) moved underneath.
+	ValidationDrops int64
+	// PagesDirty and PagesClean count captured pages by class.
+	PagesDirty int64
+	PagesClean int64
+}
+
+// CkptStats snapshots the checkpoint counters.
+func (fs *FS) CkptStats() CkptStats {
+	return CkptStats{
+		SnapshotBytes:   fs.ckptSnapshotBytes.Load(),
+		CoWFaults:       fs.ckptCoWFaults.Load(),
+		ValidationDrops: fs.ckptValidationDrops.Load(),
+		PagesDirty:      fs.ckptPagesDirty.Load(),
+		PagesClean:      fs.ckptPagesClean.Load(),
+	}
 }
 
 // ZeroCopyReads reports how many cache-hit page reads were served in place

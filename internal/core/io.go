@@ -326,6 +326,12 @@ func (fs *FS) writeImpl(b *gpu.Block, fd int, src []byte, off int64) (int, error
 			return int(done), err
 		}
 		ref.fr.Lock()
+		// Checkpoint copy-on-write (ISSUE 10): with a capture installed,
+		// preserve the pre-write page into the in-progress image before
+		// the new bytes land. One atomic load when no checkpoint runs.
+		if cc := fs.capture.Load(); cc != nil {
+			fs.ckptCopyOnWrite(cc, f.fc, pageIdx, ref.fr)
+		}
 		b.CopyBytes(ref.fr.Data[inPage:inPage+n], src[done:done+n])
 		extendValid(ref.fr, inPage+n)
 		ref.fr.Unlock()

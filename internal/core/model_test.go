@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"gpufs/internal/ckpt"
 	"gpufs/internal/gpu"
 	"gpufs/internal/simtime"
 )
@@ -39,7 +40,25 @@ func TestModelConformance(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			runModelSchedule(t, int64(seed), false)
+			runModelSchedule(t, int64(seed), false, false)
+		})
+	}
+}
+
+// TestModelConformanceMigrated reruns the model suite with a live
+// migration interposed mid-schedule (ISSUE 10): every GPU's FS is
+// checkpointed, the host corpus is copied to a brand-new machine, the
+// images are restored there, and the schedule FINISHES on the new
+// machine. The model is untouched — a migration must be semantically
+// invisible, byte for byte, including the close-to-open and weak
+// discard-on-stale rules the suite already pins.
+func TestModelConformanceMigrated(t *testing.T) {
+	const schedules = 100
+	for seed := 0; seed < schedules; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runModelSchedule(t, int64(seed), false, true)
 		})
 	}
 }
@@ -54,7 +73,7 @@ func TestModelConformanceZeroCopy(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			runModelSchedule(t, int64(seed), true)
+			runModelSchedule(t, int64(seed), true, false)
 		})
 	}
 }
@@ -101,7 +120,7 @@ func (mf *modelFile) openAnywhere() bool {
 	return false
 }
 
-func runModelSchedule(t *testing.T, seed int64, zeroCopy bool) {
+func runModelSchedule(t *testing.T, seed int64, zeroCopy, migrate bool) {
 	rng := rand.New(rand.NewSource(seed*7919 + 1))
 	numGPUs := 2 + int(seed%2)
 	numFiles := 2 + rng.Intn(2)
@@ -180,6 +199,12 @@ func runModelSchedule(t *testing.T, seed int64, zeroCopy bool) {
 	}
 
 	for step := 0; step < modelSteps; step++ {
+		if migrate && step == modelSteps/2 {
+			// Live-migrate mid-schedule: the remaining steps (and every
+			// closure above — they capture h by reference) run on the new
+			// machine, against the unchanged model.
+			h = migrateModelHarness(t, h, files, numGPUs, opt)
+		}
 		g := rng.Intn(numGPUs)
 		mf := files[rng.Intn(numFiles)]
 		st := &mf.gpus[g]
@@ -360,4 +385,44 @@ func runModelSchedule(t *testing.T, seed int64, zeroCopy bool) {
 			t.Fatalf("gpu%d evicted %d pages; the model assumes none (grow the cache)", g, n)
 		}
 	}
+}
+
+// migrateModelHarness checkpoints every GPU mid-schedule, builds a whole
+// new machine, copies the host corpus across, and restores the images
+// onto it. Open descriptors do not survive a migration (the serving layer
+// quiesces between jobs), so files are closed through the normal gclose
+// path first — which the model already gives view-survives-close
+// semantics — and the schedule reopens them on the other side.
+func migrateModelHarness(t *testing.T, h *harness, files []*modelFile, numGPUs int, opt Options) *harness {
+	t.Helper()
+	for _, mf := range files {
+		for g := range mf.gpus {
+			st := &mf.gpus[g]
+			if !st.open {
+				continue
+			}
+			h.run(t, g, func(b *gpu.Block) error {
+				return h.fss[g].Close(b, st.fd)
+			})
+			st.open, st.wr = false, false
+		}
+	}
+	imgs := make([]*ckpt.FSImage, numGPUs)
+	for g := 0; g < numGPUs; g++ {
+		img, _, err := h.fss[g].CheckpointImage(0)
+		if err != nil {
+			t.Fatalf("gpu%d checkpoint: %v", g, err)
+		}
+		imgs[g] = img
+	}
+	h2 := newHarness(t, numGPUs, opt)
+	for _, mf := range files {
+		h2.write(t, mf.path, h.read(t, mf.path))
+	}
+	for g := 0; g < numGPUs; g++ {
+		h2.run(t, g, func(b *gpu.Block) error {
+			return h2.fss[g].RestoreImage(b, imgs[g])
+		})
+	}
+	return h2
 }

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -135,22 +137,48 @@ func (ch *chaosHosts) attack(rng *rand.Rand, hostID int) string {
 	}
 }
 
-// TestFleetChaosOracle runs the many-seed sweep.
+// TestFleetChaosOracle runs the many-seed sweep. With
+// GPUFS_MIGRATE_ON_DRAIN=1 in the environment (the nightly CI
+// configuration) every seed runs migrate-first — the same exactly-once
+// contract must hold with live checkpoint/restore on the drain path.
 func TestFleetChaosOracle(t *testing.T) {
+	runChaosSweep(t, os.Getenv("GPUFS_MIGRATE_ON_DRAIN") == "1")
+}
+
+// TestFleetChaosOracleMigrate is the migrate-first sweep, always on: every
+// remediation of a host without a fatal XID checkpoints the live server
+// mid-traffic (copy-on-write capture racing in-flight batches) and
+// restores the image onto the replacement. The oracle is unchanged — the
+// answers a migrated fleet delivers must equal the undisturbed corpus
+// counts, exactly once per admitted job — so any page the migration
+// corrupted, lost, or resurrected stale shows up as a wrong grep count.
+func TestFleetChaosOracleMigrate(t *testing.T) {
+	runChaosSweep(t, true)
+}
+
+func runChaosSweep(t *testing.T, migrate bool) {
 	seeds := 300
 	if testing.Short() {
 		seeds = 25
 	}
-	var totalRemediations, totalRebalanced, totalFailed atomic.Int64
+	// GPUFS_FLEET_SEEDS overrides the sweep depth; nightly CI runs the
+	// migrate-first oracle at 500 seeds.
+	if v := os.Getenv("GPUFS_FLEET_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			seeds = n
+		}
+	}
+	var totalRemediations, totalRebalanced, totalFailed, totalMigrations atomic.Int64
 	t.Run("seeds", func(t *testing.T) {
 		for seed := 0; seed < seeds; seed++ {
 			seed := seed
 			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 				t.Parallel()
-				rem, reb, failed := runChaosSeed(t, int64(seed))
+				rem, reb, failed, mig := runChaosSeed(t, int64(seed), migrate)
 				totalRemediations.Add(rem)
 				totalRebalanced.Add(reb)
 				totalFailed.Add(failed)
+				totalMigrations.Add(mig)
 			})
 		}
 	})
@@ -162,11 +190,14 @@ func TestFleetChaosOracle(t *testing.T) {
 	if totalRebalanced.Load() == 0 {
 		t.Fatal("no job was ever re-routed; handoff path untested")
 	}
-	t.Logf("chaos sweep: %d seeds, %d remediations, %d jobs re-routed, %d classified failures",
-		seeds, totalRemediations.Load(), totalRebalanced.Load(), totalFailed.Load())
+	if migrate && totalMigrations.Load() == 0 {
+		t.Fatal("migrate-first sweep never migrated; checkpoint path untested")
+	}
+	t.Logf("chaos sweep: %d seeds, %d remediations (%d migrations), %d jobs re-routed, %d classified failures",
+		seeds, totalRemediations.Load(), totalMigrations.Load(), totalRebalanced.Load(), totalFailed.Load())
 }
 
-func runChaosSeed(t *testing.T, seed int64) (remediations, rebalanced, failed int64) {
+func runChaosSeed(t *testing.T, seed int64, migrate bool) (remediations, rebalanced, failed, migrations int64) {
 	const (
 		numHosts      = 3
 		numTenants    = 3
@@ -179,6 +210,7 @@ func runChaosSeed(t *testing.T, seed int64) (remediations, rebalanced, failed in
 	cp, err := New(Config{
 		MaxRehomes:       6,
 		CriticalXIDLimit: 3,
+		MigrateOnDrain:   migrate,
 	}, numHosts, ch.factory(seed))
 	if err != nil {
 		t.Fatal(err)
@@ -294,5 +326,5 @@ func runChaosSeed(t *testing.T, seed int64) (remediations, rebalanced, failed in
 		t.Errorf("seed %d: fleet books unbalanced: admitted=%d delivered=%d",
 			seed, snap.Admitted, snap.Delivered())
 	}
-	return snap.Remediations, snap.Rebalanced, failures
+	return snap.Remediations, snap.Rebalanced, failures, snap.Migrations
 }

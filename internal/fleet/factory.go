@@ -20,6 +20,11 @@ type SimHostConfig struct {
 	NumGPUs int
 	// Serve tunes each host's server.
 	Serve serve.Config
+	// Tune, when non-nil, adjusts the scaled per-host gpufs.Config just
+	// before the system is built (after Scale and NumGPUs are applied).
+	// Chaos tests use it to pin pathological knobs — e.g. a CkptMaxBytes
+	// of a few bytes to wedge every checkpoint mid-capture.
+	Tune func(cfg *gpufs.Config)
 	// Faults, when non-nil, enables fault injection on every host, with
 	// the seed re-derived per (host, incarnation) so each machine — and
 	// each replacement machine — lives its own deterministic fault
@@ -56,6 +61,9 @@ func SimHostFactory(hc SimHostConfig) HostFactory {
 		cfg := gpufs.ScaledConfig(scale)
 		if hc.NumGPUs > 0 {
 			cfg.NumGPUs = hc.NumGPUs
+		}
+		if hc.Tune != nil {
+			hc.Tune(&cfg)
 		}
 		sys, err := gpufs.NewSystemWithMetrics(cfg, hc.Metrics)
 		if err != nil {

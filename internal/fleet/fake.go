@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 
+	"gpufs/internal/ckpt"
 	"gpufs/internal/serve"
 	"gpufs/internal/simtime"
 )
@@ -26,7 +27,11 @@ type FakeBackend struct {
 	nextID   uint64
 	admitted int64
 	resolved int64 // completions that were real (not handoffs)
-	handed   int64 // jobs returned via DrainForHandoff
+	handed   int64 // jobs returned via DrainForHandoff or Checkpoint
+
+	ckptErr  error       // scripted Checkpoint failure
+	ckptHook func()      // runs mid-Checkpoint, between freeze and image
+	restored *ckpt.Image // image the last Restore received
 }
 
 // Counts reports (admitted, resolved, handed off) — resolved counts real
@@ -164,6 +169,70 @@ func (b *FakeBackend) DrainForHandoff() int {
 	b.draining = true
 	b.mu.Unlock()
 	return b.finish(-1, serve.ErrHandedOff)
+}
+
+// SetCheckpointErr scripts the next Checkpoint calls to fail with err
+// WITHOUT draining — modeling a capture that dies before the freeze, so
+// the remediator's DrainForHandoff fallback still has work to do.
+func (b *FakeBackend) SetCheckpointErr(err error) {
+	b.mu.Lock()
+	b.ckptErr = err
+	b.mu.Unlock()
+}
+
+// SetCheckpointHook scripts a callback that runs inside Checkpoint, after
+// the freeze but before the image is returned — the window a mid-snapshot
+// fault (a fatal XID landing while the capture walks device memory) would
+// occupy on a real host. The hook runs without b.mu held, so it may
+// re-enter the control plane (injecting XIDs, polling snapshots).
+func (b *FakeBackend) SetCheckpointHook(fn func()) {
+	b.mu.Lock()
+	b.ckptHook = fn
+	b.mu.Unlock()
+}
+
+// Checkpoint implements serve.Backend: with no scripted error it drains
+// like DrainForHandoff and returns an image whose Queued manifest lists
+// the handed-off jobs.
+func (b *FakeBackend) Checkpoint() (*ckpt.Image, error) {
+	b.mu.Lock()
+	if err := b.ckptErr; err != nil {
+		b.mu.Unlock()
+		return nil, err
+	}
+	b.draining = true
+	queued := append([]fakeJob(nil), b.queued...)
+	now := b.now
+	hook := b.ckptHook
+	b.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+
+	img := &ckpt.Image{SourceHost: -1, CaptureStart: int64(now), CaptureEnd: int64(now)}
+	for _, j := range queued {
+		img.Queued = append(img.Queued, ckpt.JobImage{
+			ID: int64(j.id), Tenant: j.tenant,
+			Kind: int64(j.spec.Kind), Path: j.spec.Path, Word: j.spec.Word,
+		})
+	}
+	b.finish(-1, serve.ErrHandedOff)
+	return img, nil
+}
+
+// Restore implements serve.Backend, recording the image for inspection.
+func (b *FakeBackend) Restore(img *ckpt.Image) error {
+	b.mu.Lock()
+	b.restored = img
+	b.mu.Unlock()
+	return nil
+}
+
+// Restored returns the image the last Restore received, or nil.
+func (b *FakeBackend) Restored() *ckpt.Image {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.restored
 }
 
 // Load implements serve.Backend.

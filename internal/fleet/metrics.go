@@ -18,6 +18,15 @@ type fleetMetrics struct {
 	handoffs   *metrics.Counter // queued jobs returned by draining hosts
 	// remediations counts completed cordon→drain→replace cycles.
 	remediations *metrics.Counter
+	// migrations counts replacements that entered rotation warm from a
+	// restored checkpoint image; ckptFallbacks counts remediations that
+	// intended to migrate but fell back to drain+restart (capture error,
+	// budget overrun, mid-snapshot fatal XID, or restore failure).
+	migrations    *metrics.Counter
+	ckptFallbacks *metrics.Counter
+	// migrationNs accumulates virtual migration latency (capture window
+	// plus restore time) in nanoseconds across successful migrations.
+	migrationNs *metrics.Counter
 	// xidEvents counts device error events by severity.
 	xidEvents map[faults.XIDSeverity]*metrics.Counter
 	// openJobs tracks fleet jobs currently placed on some host.
@@ -38,6 +47,9 @@ func newFleetMetrics(reg *metrics.Registry, cp *ControlPlane) *fleetMetrics {
 	reg.SetHelp("gpufs_fleet_cordons_total", "Hosts removed from rotation by the health monitor or operator.")
 	reg.SetHelp("gpufs_fleet_handoffs_total", "Queued jobs handed back by draining hosts for re-routing.")
 	reg.SetHelp("gpufs_fleet_remediations_total", "Completed cordon-drain-replace cycles.")
+	reg.SetHelp("gpufs_fleet_migrations_total", "Replacements restored warm from a checkpoint image.")
+	reg.SetHelp("gpufs_fleet_ckpt_fallbacks_total", "Migrate-first remediations that fell back to drain+restart.")
+	reg.SetHelp("gpufs_fleet_migration_latency_ns_total", "Virtual migration latency (capture + restore), summed.")
 	reg.SetHelp("gpufs_fleet_xid_events_total", "Device XID error events by severity.")
 	reg.SetHelp("gpufs_fleet_open_jobs", "Fleet jobs currently placed on a host.")
 
@@ -53,6 +65,9 @@ func newFleetMetrics(reg *metrics.Registry, cp *ControlPlane) *fleetMetrics {
 	m.cordons = reg.Counter("gpufs_fleet_cordons_total")
 	m.handoffs = reg.Counter("gpufs_fleet_handoffs_total")
 	m.remediations = reg.Counter("gpufs_fleet_remediations_total")
+	m.migrations = reg.Counter("gpufs_fleet_migrations_total")
+	m.ckptFallbacks = reg.Counter("gpufs_fleet_ckpt_fallbacks_total")
+	m.migrationNs = reg.Counter("gpufs_fleet_migration_latency_ns_total")
 	for _, sev := range []faults.XIDSeverity{faults.XIDWarn, faults.XIDCritical, faults.XIDFatal} {
 		m.xidEvents[sev] = reg.Counter("gpufs_fleet_xid_events_total", "severity", sev.String())
 	}

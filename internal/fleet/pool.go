@@ -96,7 +96,9 @@ type Event struct {
 	Seq  int
 	Host int
 	// Kind is the transition: "cordon", "drain", "handoff", "replace",
-	// "replace-failed", "dead".
+	// "replace-failed", "dead" — plus, on the migrate-first path,
+	// "checkpoint", "migrate", "ckpt-failed", "ckpt-discard", and
+	// "restore-failed".
 	Kind   string
 	Detail string
 }
@@ -114,10 +116,11 @@ type Snapshot struct {
 	// Admitted counts fleet-admitted jobs; Delivered = Succeeded+Failed
 	// counts results handed to clients; Rebalanced counts job re-routings
 	// across hosts (handoffs plus failure rehomes); Remediations counts
-	// completed cordon→drain→replace cycles; DeadHosts counts capacity
-	// the factory could not restore.
+	// completed cordon→drain→replace cycles; Migrations counts the subset
+	// whose replacement entered rotation warm from a restored checkpoint;
+	// DeadHosts counts capacity the factory could not restore.
 	Admitted, Succeeded, Failed, Rebalanced int64
-	Remediations, DeadHosts                 int64
+	Remediations, Migrations, DeadHosts     int64
 }
 
 // Delivered sums results handed to clients.
@@ -134,6 +137,7 @@ func (cp *ControlPlane) Snapshot() Snapshot {
 		Failed:       cp.failed,
 		Rebalanced:   cp.rebalanced,
 		Remediations: cp.remediations,
+		Migrations:   cp.migrations,
 	}
 	for _, h := range cp.hosts {
 		info := HostInfo{

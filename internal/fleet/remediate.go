@@ -1,6 +1,11 @@
 package fleet
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpufs/internal/ckpt"
+	"gpufs/internal/simtime"
+)
 
 // The remediation loop. One goroutine walks cordoned hosts through
 //
@@ -16,6 +21,16 @@ import "fmt"
 //     results are valid — the kernels are read-only — and re-executing
 //     them elsewhere would double-run work the exactly-once story
 //     forbids).
+//   - With Config.MigrateOnDrain set, the drain step is migrate-first:
+//     the backend is Checkpointed instead (the same queue freeze and
+//     handoff semantics, plus a copy-on-write capture of every GPU's
+//     cache and file tables concurrent with the in-flight batches), and
+//     the image is restored onto the replacement so it enters rotation
+//     warm. The fallback to plain drain+restart is automatic and total:
+//     a capture error or budget overrun, a fatal XID before or during
+//     the snapshot (the device's memory — and therefore the image — is
+//     suspect), or a failed restore each degrade to exactly the
+//     non-migrating path, never to a lost job or a stale page.
 //   - Replacing calls the host factory, also without the lock (a real
 //     factory provisions a machine; even the simulated one builds a whole
 //     gpufs.System). Success installs the new backend under a bumped
@@ -80,15 +95,50 @@ func (cp *ControlPlane) remediator() {
 		h.state = HostDraining
 		oldInc := h.incarnation
 		backend := h.backend
+		// A fatal XID means the device fell off the bus or its memory is
+		// uncontained — an image captured from it cannot be trusted.
+		migrate := cp.cfg.MigrateOnDrain && h.health.fatalXIDs == 0
 		cp.eventLocked(h.id, "drain", "incarnation %d draining: %s", oldInc, h.reason)
 		cp.cond.Broadcast()
 		cp.mu.Unlock()
 
 		// Unlocked: queued jobs come back ErrHandedOff (watchers re-route
-		// them concurrently with this call), in-flight jobs finish.
-		handed := backend.DrainForHandoff()
+		// them concurrently with this call), in-flight jobs finish. The
+		// migrate-first path checkpoints instead — same freeze, plus the
+		// copy-on-write capture — and a failed checkpoint still drains,
+		// so the DrainForHandoff fallback below is a no-op returning 0.
+		var img *ckpt.Image
+		if migrate {
+			var err error
+			img, err = backend.Checkpoint()
+			if err != nil {
+				img = nil
+				cp.mu.Lock()
+				cp.met.ckptFallbacks.Inc()
+				cp.eventLocked(h.id, "ckpt-failed", "%v; falling back to drain+restart", err)
+				cp.mu.Unlock()
+			}
+		}
+		handed := 0
+		if img != nil {
+			img.SourceHost = int64(h.id)
+			handed = len(img.Queued)
+		} else {
+			handed = backend.DrainForHandoff()
+		}
 
 		cp.mu.Lock()
+		if img != nil && h.health.fatalXIDs > 0 {
+			// The fatal XID landed mid-snapshot: the capture window
+			// overlaps a device whose memory integrity just failed.
+			cp.met.ckptFallbacks.Inc()
+			cp.eventLocked(h.id, "ckpt-discard", "fatal XID during snapshot; image discarded")
+			img = nil
+		}
+		if img != nil {
+			cp.eventLocked(h.id, "checkpoint", "image captured: %d dirty pages, %d clean refs, %d bytes",
+				img.DirtyPages(), img.CleanPages(), img.Bytes())
+		}
 		cp.met.handoffs.Add(int64(handed))
 		cp.eventLocked(h.id, "handoff", "%d queued jobs handed off, in-flight complete", handed)
 		h.state = HostReplacing
@@ -97,6 +147,27 @@ func (cp *ControlPlane) remediator() {
 
 		// Unlocked: provisioning a replacement can be slow.
 		nb, inj, err := cp.factory(h.id, oldInc+1)
+
+		if err == nil && img != nil {
+			// Unlocked too: the restore replays cache contents through the
+			// new machine's full RPC path.
+			if rerr := nb.Restore(img); rerr != nil {
+				cp.mu.Lock()
+				cp.met.ckptFallbacks.Inc()
+				cp.eventLocked(h.id, "restore-failed", "%v; replacement enters rotation cold", rerr)
+				cp.mu.Unlock()
+			} else {
+				lat := simtime.Duration(img.CaptureEnd-img.CaptureStart) +
+					nb.Now().Sub(simtime.Time(0))
+				cp.mu.Lock()
+				cp.migrations++
+				cp.met.migrations.Inc()
+				cp.met.migrationNs.Add(int64(lat))
+				cp.eventLocked(h.id, "migrate",
+					"incarnation %d enters rotation warm (%v virtual capture+restore)", oldInc+1, lat)
+				cp.mu.Unlock()
+			}
+		}
 
 		cp.mu.Lock()
 		if err != nil {

@@ -1,0 +1,112 @@
+package gsys
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gpufs/internal/ckpt"
+)
+
+// Checkpointing the pipe table (ISSUE 10). Pipes are host-memory state,
+// so unlike the buffer cache they need no copy-on-write: each pipe is
+// exported atomically under its own lock. The migration contract for a
+// pipe is "survive intact or break with a clean EPIPE, never lose or
+// duplicate a record":
+//
+//   - A pipe whose declared writers have ALL closed is self-contained —
+//     its buffered records plus the EOF mark are its entire future — so
+//     it migrates intact and the restored reader drains it to EOF.
+//   - A pipe with live writers at capture cannot be reconstructed: the
+//     writers' unwritten tails die with the source host. Restoring its
+//     buffered prefix would deliver a silently truncated stream, so the
+//     image marks it broken and the restored end observes EPIPE before
+//     any data — the declared-writer protocol's loud failure arm.
+//   - A pipe whose reader already closed has no future at all; it is not
+//     exported.
+
+// ckptSeveredMsg is the broken mark stamped on live-writer pipes.
+const ckptSeveredMsg = "checkpoint severed live writer"
+
+// ExportPipes captures the pipe table into image form.
+func (s *Service) ExportPipes() []ckpt.PipeImage {
+	s.pipes.mu.Lock()
+	names := make([]string, 0, len(s.pipes.byName))
+	for name := range s.pipes.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pipes := make([]*pipe, len(names))
+	for i, name := range names {
+		pipes[i] = s.pipes.byName[name]
+	}
+	s.pipes.mu.Unlock()
+
+	var out []ckpt.PipeImage
+	for _, p := range pipes {
+		p.mu.Lock()
+		if p.readerClosed {
+			p.mu.Unlock()
+			continue
+		}
+		img := ckpt.PipeImage{
+			Name:            p.name,
+			Cap:             int64(p.cap),
+			WritersDeclared: int64(p.writersDeclared),
+			WritersAttached: int64(p.writersAttached),
+			WritersClosed:   int64(p.writersClosed),
+			BytesIn:         p.bytesIn,
+			BytesOut:        p.bytesOut,
+		}
+		switch {
+		case p.broken != nil:
+			img.Broken = p.broken.Error()
+		case p.writersClosed < p.writersDeclared:
+			img.Broken = ckptSeveredMsg
+		default:
+			for _, ch := range p.chunks {
+				img.Chunks = append(img.Chunks, append([]byte(nil), ch.data...))
+			}
+		}
+		p.mu.Unlock()
+		out = append(out, img)
+	}
+	return out
+}
+
+// RestorePipes materializes exported pipes into this (fresh) service's
+// table. Buffered chunks become available at virtual time zero on the
+// new host's timeline — their producers' DMAs completed on the source.
+// A name that already exists locally is left untouched.
+func (s *Service) RestorePipes(imgs []ckpt.PipeImage) {
+	for i := range imgs {
+		img := &imgs[i]
+		p := &pipe{
+			name:            img.Name,
+			cap:             int(img.Cap),
+			writersDeclared: int(img.WritersDeclared),
+			writersAttached: int(img.WritersAttached),
+			writersClosed:   int(img.WritersClosed),
+			bytesIn:         img.BytesIn,
+			bytesOut:        img.BytesOut,
+		}
+		p.cond = sync.NewCond(&p.mu)
+		if img.Broken != "" {
+			p.broken = fmt.Errorf("%w: %s", ErrPipeBroken, img.Broken)
+		}
+		for _, c := range img.Chunks {
+			data := append([]byte(nil), c...)
+			p.chunks = append(p.chunks, pipeChunk{data: data})
+			p.buffered += len(data)
+		}
+
+		s.pipes.mu.Lock()
+		if _, exists := s.pipes.byName[img.Name]; !exists {
+			id := s.pipes.nextID
+			s.pipes.nextID++
+			s.pipes.byName[img.Name] = p
+			s.pipes.byID[id] = p
+		}
+		s.pipes.mu.Unlock()
+	}
+}

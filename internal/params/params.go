@@ -177,6 +177,21 @@ type Config struct {
 	// the host memory bus. On by default; false restores the copying read
 	// path bit-identically (the PR-7 pinned baselines set it off).
 	ZeroCopyRead bool
+	// MigrateOnDrain selects migrate-first remediation in the fleet
+	// control plane: a cordoned host is checkpointed (buffer caches,
+	// file tables, pipes — copy-on-write while its in-flight batches
+	// finish) and the image restored onto its replacement, so tenants
+	// land on a warm cache instead of a cold one. Checkpoint failure, a
+	// budget overrun, or a fatal XID during the snapshot falls back to
+	// the plain drain+restart path. Off by default: false is
+	// bit-identical to the pre-migration behavior (the capture hook is
+	// one nil pointer test on the write path).
+	MigrateOnDrain bool
+	// CkptMaxBytes bounds the bytes a checkpoint may capture by value
+	// (dirty pages plus pipe buffers). A capture that exceeds it fails
+	// with ckpt.ErrBudget and the remediator falls back to
+	// drain+restart. 0 means unlimited.
+	CkptMaxBytes int64
 	// FrameShards is the number of free-list shards in the per-GPU frame
 	// allocator. Lanes (threadblocks, cleaner workers) allocate from the
 	// shard they hash to and steal from neighbors when it is empty. 0

@@ -98,6 +98,15 @@ func (s *Server) worker(g int) {
 // overwhelmed one without breaking cache locality under light load.
 // Returns nil when there is nothing to take.
 func (s *Server) takeLocked(g int) []*job {
+	if s.handoff {
+		// A handoff freeze is flushing the queues: anything still queued
+		// (including retries requeued by in-flight batches) belongs to the
+		// flush, not to one more launch. Without this gate a worker waking
+		// between a retry's requeue and the drain loop's next pop could
+		// re-execute a job the freeze is about to hand off — the job would
+		// be dispatched here AND appear queued in a checkpoint image.
+		return nil
+	}
 	if q := s.queues[g]; q.size > 0 {
 		batch := q.pop(s.cfg.MaxBatch)
 		s.met.noteQueueDepth(g, q.size)

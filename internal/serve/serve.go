@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"gpufs"
+	"gpufs/internal/ckpt"
 	"gpufs/internal/metrics"
 	"gpufs/internal/simtime"
 	"gpufs/internal/trace"
@@ -154,6 +155,16 @@ type Backend interface {
 	// elsewhere), waits for in-flight work, and shuts the host down. It
 	// returns the number of jobs handed off.
 	DrainForHandoff() int
+	// Checkpoint captures the host into a migratable image: it freezes the
+	// queues (handing queued jobs back exactly as DrainForHandoff does),
+	// snapshots every GPU's buffer-cache and file-table state copy-on-write
+	// while in-flight batches finish, and shuts the host down. On error the
+	// host is still fully drained — the caller falls back to replacing it
+	// cold. Counts as the host's one drain call.
+	Checkpoint() (*ckpt.Image, error)
+	// Restore materializes a checkpoint image onto this host. It must be
+	// called on a freshly built host before it takes traffic.
+	Restore(img *ckpt.Image) error
 	// Load reports the host's instantaneous backlog: queued plus
 	// in-flight jobs.
 	Load() int
@@ -333,7 +344,13 @@ type Server struct {
 	rr       int
 	batchSeq int64
 	draining bool
-	closed   bool
+	// handoff freezes dispatch: takeLocked assembles no new batches while
+	// it is set, so every queued job — including a retry requeued by an
+	// in-flight batch — is flushed with ErrHandedOff instead of being
+	// raced into one last launch. DrainForHandoff and Checkpoint set it;
+	// plain Drain does not (its queued jobs must still execute here).
+	handoff bool
+	closed  bool
 
 	vnow atomic.Int64 // server virtual now: max observed batch end
 	ids  atomic.Uint64
@@ -563,15 +580,36 @@ func (s *Server) Drain() {
 // normally, retries included; a retry requeued mid-drain is flushed, not
 // re-executed here), and shuts the workers down. It returns the number of
 // jobs handed off. Like Drain it may be called once, and every admitted
-// Future still completes exactly once.
+// Future still completes exactly once. (Checkpoint runs this same freeze
+// internally; calling DrainForHandoff after a Checkpoint attempt is a
+// harmless no-op returning 0 — the fallback path relies on that.)
 func (s *Server) DrainForHandoff() int {
-	type flushedJob struct {
-		j *job
-		g int
+	flushed := s.freezeAndFlush()
+	now := simtime.Time(s.vnow.Load())
+	for _, f := range flushed {
+		s.completeJob(f.j, f.g, -1, now, now, ErrHandedOff)
 	}
+	return len(flushed)
+}
+
+// flushedJob is one queued job popped by a handoff freeze, tagged with
+// the GPU queue it came from.
+type flushedJob struct {
+	j *job
+	g int
+}
+
+// freezeAndFlush is the shared handoff freeze: stop admission AND
+// dispatch (the handoff flag gates takeLocked, so a retry requeued by an
+// in-flight batch mid-drain can never be raced into one last launch —
+// it is flushed like everything else), pop every queued job, wait for
+// in-flight batches, and shut the workers down. The caller completes the
+// flushed jobs with ErrHandedOff.
+func (s *Server) freezeAndFlush() []flushedJob {
 	var flushed []flushedJob
 	s.mu.Lock()
 	s.draining = true
+	s.handoff = true
 	s.cond.Broadcast()
 	for {
 		for g, q := range s.queues {
@@ -592,11 +630,7 @@ func (s *Server) DrainForHandoff() int {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
-	now := simtime.Time(s.vnow.Load())
-	for _, f := range flushed {
-		s.completeJob(f.j, f.g, -1, now, now, ErrHandedOff)
-	}
-	return len(flushed)
+	return flushed
 }
 
 // Load reports the instantaneous backlog: queued plus in-flight jobs.

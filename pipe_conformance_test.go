@@ -266,3 +266,307 @@ func TestGpipeBrokenPipe(t *testing.T) {
 		t.Fatalf("reader: %v", rErr)
 	}
 }
+
+// onePipeScheduleMigrated interposes a live migration in the record
+// stream (ISSUE 10): producers write the whole stream and close on the
+// SOURCE machine, a consumer there drains only part of it, and the pipe
+// — with its buffered remainder — is exported and restored onto a brand
+// new machine, where a second consumer drains it to EOF. Across the cut
+// every record must arrive exactly once, in per-writer order, bytes
+// intact: buffered records survive a migration or the pipe breaks
+// loudly, never a silent loss or duplicate.
+func onePipeScheduleMigrated(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := gpufs.ScaledConfig(1.0 / 256)
+	cfg.NumGPUs = 2
+	sys, err := gpufs.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: NewSystem: %v", seed, err)
+	}
+
+	writers := 1 + rng.Intn(2)
+	capBytes := 512 + rng.Intn(4096)
+	maxRec := capBytes - confHeader
+	if maxRec > 1500 {
+		maxRec = 1500
+	}
+	recsPerWriter := 8 + rng.Intn(25)
+	name := fmt.Sprintf("conf-mig-%d", seed)
+
+	sizes := make([][]int, writers)
+	totalBytes := 0
+	for w := range sizes {
+		sizes[w] = make([]int, recsPerWriter)
+		for s := range sizes[w] {
+			sizes[w][s] = 1 + rng.Intn(maxRec)
+			totalBytes += confHeader + sizes[w][s]
+		}
+	}
+	think := make([][]simtime.Duration, writers)
+	for w := range think {
+		think[w] = make([]simtime.Duration, recsPerWriter)
+		for s := range think[w] {
+			think[w][s] = simtime.Duration(rng.Intn(40_000))
+		}
+	}
+	readBuf := 64 + rng.Intn(2*capBytes)
+	// The source consumer stops here, leaving up to half the capacity
+	// buffered for the migration; past this point the producers can
+	// always finish and close without further reads.
+	target := totalBytes - capBytes/2
+
+	type got struct {
+		writer, seq, size int
+		payload           []byte
+	}
+	var received []got
+	var pending []byte
+	parse := func(buf []byte) {
+		pending = append(pending, buf...)
+		for len(pending) >= confHeader {
+			w := int(binary.LittleEndian.Uint32(pending[0:4]))
+			s := int(binary.LittleEndian.Uint32(pending[4:8]))
+			sz := int(binary.LittleEndian.Uint32(pending[8:12]))
+			if len(pending) < confHeader+sz {
+				break
+			}
+			received = append(received, got{
+				writer: w, seq: s, size: sz,
+				payload: append([]byte(nil), pending[confHeader:confHeader+sz]...),
+			})
+			pending = pending[confHeader+sz:]
+		}
+	}
+
+	var wg sync.WaitGroup
+	var prodErr, consErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, prodErr = sys.GPU(0).Launch(0, writers, 32, func(c *gpufs.BlockCtx) error {
+			w := c.Idx
+			pd, err := c.GpipeOpen(name, gpufs.PipeWriter, capBytes, writers)
+			if err != nil {
+				return err
+			}
+			rec := make([]byte, confHeader+maxRec)
+			for s := 0; s < recsPerWriter; s++ {
+				c.Busy(think[w][s])
+				n := sizes[w][s]
+				binary.LittleEndian.PutUint32(rec[0:4], uint32(w))
+				binary.LittleEndian.PutUint32(rec[4:8], uint32(s))
+				binary.LittleEndian.PutUint32(rec[8:12], uint32(n))
+				copy(rec[confHeader:], confPayload(w, s, n))
+				if _, err := c.GpipeWrite(pd, rec[:confHeader+n]); err != nil {
+					return fmt.Errorf("writer %d rec %d: %w", w, s, err)
+				}
+			}
+			return c.GpipeClose(pd, gpufs.PipeWriter)
+		})
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if target <= 0 {
+			return // whole stream fits buffered; migrate all of it
+		}
+		_, consErr = sys.GPU(1).Launch(0, 1, 32, func(c *gpufs.BlockCtx) error {
+			pd, err := c.GpipeOpen(name, gpufs.PipeReader, capBytes, writers)
+			if err != nil {
+				return err
+			}
+			scratch := make([]byte, readBuf)
+			consumed := 0
+			for consumed < target {
+				n, err := c.GpipeRead(pd, scratch)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				consumed += n
+				parse(scratch[:n])
+			}
+			// Deliberately no GpipeClose: a closed reader condemns the
+			// pipe, and this reader's host is about to be migrated away.
+			return nil
+		})
+	}()
+	wg.Wait()
+	if prodErr != nil {
+		t.Fatalf("seed %d: producer: %v", seed, prodErr)
+	}
+	if consErr != nil {
+		t.Fatalf("seed %d: source consumer: %v", seed, consErr)
+	}
+
+	imgs := sys.Syscalls().ExportPipes()
+	foundIntact := false
+	for i := range imgs {
+		if imgs[i].Name == name {
+			foundIntact = true
+			if imgs[i].Broken != "" {
+				t.Fatalf("seed %d: pipe exported broken (%q) though all writers closed", seed, imgs[i].Broken)
+			}
+		}
+	}
+	if !foundIntact {
+		t.Fatalf("seed %d: pipe missing from the export", seed)
+	}
+
+	sys2, err := gpufs.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: NewSystem (target): %v", seed, err)
+	}
+	sys2.Syscalls().RestorePipes(imgs)
+
+	if _, err := sys2.GPU(1).Launch(0, 1, 32, func(c *gpufs.BlockCtx) error {
+		pd, err := c.GpipeOpen(name, gpufs.PipeReader, capBytes, writers)
+		if err != nil {
+			return err
+		}
+		scratch := make([]byte, readBuf)
+		for {
+			n, err := c.GpipeRead(pd, scratch)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			parse(scratch[:n])
+		}
+		if len(pending) != 0 {
+			return fmt.Errorf("stream ended mid-record (%d stray bytes)", len(pending))
+		}
+		return c.GpipeClose(pd, gpufs.PipeReader)
+	}); err != nil {
+		t.Fatalf("seed %d: restored consumer: %v", seed, err)
+	}
+
+	if len(received) != writers*recsPerWriter {
+		t.Fatalf("seed %d: received %d records across the migration, want %d",
+			seed, len(received), writers*recsPerWriter)
+	}
+	nextSeq := make([]int, writers)
+	for i, g := range received {
+		if g.writer < 0 || g.writer >= writers {
+			t.Fatalf("seed %d: record %d from unknown writer %d", seed, i, g.writer)
+		}
+		if g.seq != nextSeq[g.writer] {
+			t.Fatalf("seed %d: writer %d records out of order across migration: got seq %d, want %d",
+				seed, g.writer, g.seq, nextSeq[g.writer])
+		}
+		nextSeq[g.writer]++
+		if g.size != sizes[g.writer][g.seq] {
+			t.Fatalf("seed %d: writer %d rec %d is %d bytes, want %d",
+				seed, g.writer, g.seq, g.size, sizes[g.writer][g.seq])
+		}
+		want := confPayload(g.writer, g.seq, g.size)
+		for j := range want {
+			if g.payload[j] != want[j] {
+				t.Fatalf("seed %d: writer %d rec %d corrupted at byte %d", seed, g.writer, g.seq, j)
+			}
+		}
+	}
+}
+
+// TestGpipeConformanceMigrated runs the 100-schedule conformance suite
+// with a live migration interposed mid-stream (ISSUE 10).
+func TestGpipeConformanceMigrated(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		onePipeScheduleMigrated(t, seed)
+	}
+}
+
+// TestGpipeMigrateSeveredWriter: a pipe with a LIVE writer at checkpoint
+// time cannot migrate — its unwritten tail dies with the source host —
+// so the restored pipe must fail loudly with EPIPE before delivering a
+// single byte, never a silently truncated stream.
+func TestGpipeMigrateSeveredWriter(t *testing.T) {
+	cfg := gpufs.ScaledConfig(1.0 / 256)
+	cfg.NumGPUs = 2
+	sys, err := gpufs.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	const capBytes = 1024
+	wrote := make(chan struct{})
+	var wg sync.WaitGroup
+	var wErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, wErr = sys.GPU(0).Launch(0, 1, 32, func(c *gpufs.BlockCtx) error {
+			pd, err := c.GpipeOpen("severed", gpufs.PipeWriter, capBytes, 1)
+			if err != nil {
+				return err
+			}
+			if _, err := c.GpipeWrite(pd, make([]byte, 256)); err != nil {
+				return err
+			}
+			close(wrote)
+			// Keep writing without ever closing: the writer is live when
+			// the checkpoint cuts, until BreakPipe releases it below.
+			for {
+				if _, err := c.GpipeWrite(pd, make([]byte, 256)); err != nil {
+					if errors.Is(err, gsys.ErrPipeBroken) {
+						return nil
+					}
+					return err
+				}
+			}
+		})
+	}()
+	<-wrote
+	imgs := sys.Syscalls().ExportPipes()
+	// Release the stranded source writer (its host is being torn down).
+	sys.Syscalls().BreakPipe("severed", gsys.ErrPipeBroken)
+	wg.Wait()
+	if wErr != nil {
+		t.Fatalf("writer: %v", wErr)
+	}
+
+	var img *struct {
+		broken string
+		chunks int
+	}
+	for i := range imgs {
+		if imgs[i].Name == "severed" {
+			img = &struct {
+				broken string
+				chunks int
+			}{imgs[i].Broken, len(imgs[i].Chunks)}
+		}
+	}
+	if img == nil {
+		t.Fatal("severed pipe missing from the export")
+	}
+	if img.broken == "" || img.chunks != 0 {
+		t.Fatalf("live-writer pipe exported as intact (broken=%q, %d chunks); want severed with no data",
+			img.broken, img.chunks)
+	}
+
+	sys2, err := gpufs.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem (target): %v", err)
+	}
+	sys2.Syscalls().RestorePipes(imgs)
+	if _, err := sys2.GPU(1).Launch(0, 1, 32, func(c *gpufs.BlockCtx) error {
+		pd, err := c.GpipeOpen("severed", gpufs.PipeReader, capBytes, 1)
+		if err != nil {
+			return err
+		}
+		n, err := c.GpipeRead(pd, make([]byte, 256))
+		if err == nil || err == io.EOF {
+			return fmt.Errorf("read on severed pipe returned n=%d err=%v; want EPIPE", n, err)
+		}
+		if !errors.Is(err, gsys.ErrPipeBroken) {
+			return fmt.Errorf("read on severed pipe: %v, want ErrPipeBroken", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("restored consumer: %v", err)
+	}
+}
